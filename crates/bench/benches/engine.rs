@@ -1,0 +1,56 @@
+//! Microbenchmarks of the discrete-event kernel — the floor under every
+//! simulator's throughput.
+
+use criterion::{black_box, criterion_group, criterion_main, Criterion};
+use sctm_engine::event::EventQueue;
+use sctm_engine::rng::StreamRng;
+use sctm_engine::stats::Histogram;
+use sctm_engine::time::SimTime;
+
+fn bench_event_queue(c: &mut Criterion) {
+    c.bench_function("event_queue/push_pop_1k", |b| {
+        b.iter(|| {
+            let mut q = EventQueue::with_capacity(1024);
+            for i in 0..1024u64 {
+                q.schedule(SimTime::from_ps((i * 7919) % 100_000), i);
+            }
+            let mut sum = 0u64;
+            while let Some(e) = q.pop() {
+                sum = sum.wrapping_add(e.payload);
+            }
+            black_box(sum)
+        })
+    });
+}
+
+fn bench_rng(c: &mut Criterion) {
+    c.bench_function("rng/u64_x1k", |b| {
+        let mut r = StreamRng::new(1);
+        b.iter(|| {
+            let mut acc = 0u64;
+            for _ in 0..1000 {
+                acc = acc.wrapping_add(r.below(1_000_000));
+            }
+            black_box(acc)
+        })
+    });
+}
+
+fn bench_histogram(c: &mut Criterion) {
+    c.bench_function("histogram/record_1k", |b| {
+        let mut h = Histogram::new();
+        b.iter(|| {
+            for i in 0..1000u64 {
+                h.record(i * i % 1_000_000);
+            }
+            black_box(h.p99())
+        })
+    });
+}
+
+criterion_group! {
+    name = benches;
+    config = Criterion::default().sample_size(20);
+    targets = bench_event_queue, bench_rng, bench_histogram
+}
+criterion_main!(benches);

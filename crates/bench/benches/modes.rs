@@ -1,0 +1,51 @@
+//! End-to-end cost of each simulation mode (the wall-time axis of
+//! E2/E5): execution-driven co-simulation on each network vs the full
+//! self-correction loop vs classic trace capture+replay.
+
+use criterion::{black_box, criterion_group, criterion_main, BenchmarkId, Criterion};
+use sctm_core::{Experiment, Mode, NetworkKind, SystemConfig};
+use sctm_engine::time::SimTime;
+use sctm_workloads::Kernel;
+
+fn exp(kind: NetworkKind) -> Experiment {
+    Experiment::new(SystemConfig::new(4, kind), Kernel::Fft).with_ops(300)
+}
+
+fn bench_modes(c: &mut Criterion) {
+    let mut g = c.benchmark_group("simulation_mode_fft16");
+    g.bench_function(BenchmarkId::from_parameter("exec_omesh"), |b| {
+        b.iter(|| black_box(exp(NetworkKind::Omesh).run(Mode::ExecutionDriven).exec_time))
+    });
+    g.bench_function(BenchmarkId::from_parameter("exec_emesh_baseline"), |b| {
+        b.iter(|| black_box(exp(NetworkKind::Emesh).run(Mode::ExecutionDriven).exec_time))
+    });
+    g.bench_function(BenchmarkId::from_parameter("sctm_loop_omesh"), |b| {
+        b.iter(|| {
+            black_box(
+                exp(NetworkKind::Omesh)
+                    .run(Mode::SelfCorrection { max_iters: 3 })
+                    .exec_time,
+            )
+        })
+    });
+    g.bench_function(BenchmarkId::from_parameter("classic_trace_omesh"), |b| {
+        b.iter(|| black_box(exp(NetworkKind::Omesh).run(Mode::ClassicTrace).exec_time))
+    });
+    g.bench_function(BenchmarkId::from_parameter("online_omesh_5us"), |b| {
+        b.iter(|| {
+            black_box(
+                exp(NetworkKind::Omesh)
+                    .run(Mode::Online { epoch: SimTime::from_us(5) })
+                    .exec_time,
+            )
+        })
+    });
+    g.finish();
+}
+
+criterion_group! {
+    name = benches;
+    config = Criterion::default().sample_size(10);
+    targets = bench_modes
+}
+criterion_main!(benches);

@@ -1,0 +1,67 @@
+//! Network-simulator throughput: messages simulated per second on each
+//! interconnect under identical random traffic (the cost behind E6's
+//! curves and the "detailed network" term of every simulation mode).
+
+use criterion::{black_box, criterion_group, criterion_main, BenchmarkId, Criterion};
+use sctm_bench::bench_network;
+use sctm_core::NetworkKind;
+use sctm_engine::net::{Message, MsgClass, MsgId, NodeId};
+use sctm_engine::rng::StreamRng;
+use sctm_engine::time::SimTime;
+
+fn traffic(n: usize, count: u64, seed: u64) -> Vec<(SimTime, Message)> {
+    let mut rng = StreamRng::new(seed);
+    (0..count)
+        .map(|i| {
+            let src = rng.below(n as u64) as u32;
+            let mut dst = rng.below(n as u64) as u32;
+            if dst == src {
+                dst = (dst + 1) % n as u32;
+            }
+            let data = rng.chance(0.5);
+            (
+                SimTime::from_ns(rng.below(4_000)),
+                Message {
+                    id: MsgId(i),
+                    src: NodeId(src),
+                    dst: NodeId(dst),
+                    class: if data { MsgClass::Data } else { MsgClass::Control },
+                    bytes: if data { 72 } else { 8 },
+                },
+            )
+        })
+        .collect()
+}
+
+fn bench_networks(c: &mut Criterion) {
+    let mut g = c.benchmark_group("network_drain_2k_msgs");
+    let side = 8;
+    let msgs = traffic(side * side, 2000, 42);
+    for kind in [
+        NetworkKind::Analytic,
+        NetworkKind::Oxbar,
+        NetworkKind::Omesh,
+        NetworkKind::Emesh,
+    ] {
+        g.bench_with_input(BenchmarkId::from_parameter(kind.label()), &kind, |b, &kind| {
+            b.iter(|| {
+                let mut net = bench_network(kind, side);
+                for &(t, m) in &msgs {
+                    net.inject(t, m);
+                }
+                let mut out = Vec::with_capacity(msgs.len());
+                net.drain(&mut out);
+                assert_eq!(out.len(), msgs.len());
+                black_box(out.len())
+            })
+        });
+    }
+    g.finish();
+}
+
+criterion_group! {
+    name = benches;
+    config = Criterion::default().sample_size(10);
+    targets = bench_networks
+}
+criterion_main!(benches);

@@ -1,0 +1,46 @@
+//! Replay-engine cost on one captured trace: the classic pass, the
+//! self-correcting pass, and the full-causality oracle (the per-
+//! iteration term of the self-correction loop in E2/E5).
+
+use criterion::{black_box, criterion_group, criterion_main, BenchmarkId, Criterion};
+use sctm_core::{Experiment, NetworkKind, SystemConfig};
+use sctm_trace::{replay_fixed, replay_oracle, replay_sctm_pass, TraceLog};
+use sctm_workloads::Kernel;
+
+fn capture() -> TraceLog {
+    Experiment::new(SystemConfig::new(4, NetworkKind::Omesh), Kernel::Fft)
+        .with_ops(400)
+        .capture()
+}
+
+fn bench_replay(c: &mut Criterion) {
+    let log = capture();
+    let mut g = c.benchmark_group("replay_on_omesh");
+    type Engine = fn(&TraceLog, &mut dyn sctm_engine::net::NetworkModel) -> sctm_trace::ReplayResult;
+    let engines: [(&str, Engine); 3] = [
+        ("classic", replay_fixed as Engine),
+        ("sctm_pass", replay_sctm_pass as Engine),
+        ("oracle", replay_oracle as Engine),
+    ];
+    for (name, engine) in engines {
+        g.bench_with_input(BenchmarkId::from_parameter(name), &engine, |b, engine| {
+            b.iter(|| {
+                let mut net = SystemConfig::make_network_kind(4, NetworkKind::Omesh);
+                let r = engine(&log, net.as_mut());
+                black_box(r.est_exec_time)
+            })
+        });
+    }
+    g.finish();
+
+    c.bench_function("capture_on_analytic", |b| {
+        b.iter(|| black_box(capture().len()))
+    });
+}
+
+criterion_group! {
+    name = benches;
+    config = Criterion::default().sample_size(10);
+    targets = bench_replay
+}
+criterion_main!(benches);

@@ -1,0 +1,49 @@
+//! Regenerate every table/figure of the evaluation.
+//!
+//! ```text
+//! tables                 # all experiments, quick scale
+//! tables --full          # paper scale (minutes)
+//! tables --exp e3 e7     # a subset
+//! tables --csv           # machine-readable output as well
+//! ```
+
+use sctm_bench::{run_experiment, Scale, EXPERIMENT_IDS};
+
+fn main() {
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    let full = args.iter().any(|a| a == "--full");
+    let csv = args.iter().any(|a| a == "--csv");
+    let wanted: Vec<String> = {
+        let mut w = Vec::new();
+        let mut take = false;
+        for a in &args {
+            if a == "--exp" {
+                take = true;
+            } else if a.starts_with("--") {
+                take = false;
+            } else if take {
+                w.push(a.to_lowercase());
+            }
+        }
+        w
+    };
+    let scale = if full { Scale::Full } else { Scale::Quick };
+    eprintln!(
+        "# SCTM evaluation — scale: {scale:?} ({} cores flagship)",
+        scale.side() * scale.side()
+    );
+    let t0 = std::time::Instant::now();
+    for id in EXPERIMENT_IDS {
+        if !wanted.is_empty() && !wanted.iter().any(|w| w == id) {
+            continue;
+        }
+        let te = std::time::Instant::now();
+        let table = run_experiment(id, scale).unwrap();
+        println!("{}", table.render());
+        if csv {
+            println!("# CSV {id}\n{}", table.to_csv());
+        }
+        eprintln!("# {id} done in {:.1}s", te.elapsed().as_secs_f64());
+    }
+    eprintln!("# total wall time: {:.1}s", t0.elapsed().as_secs_f64());
+}

@@ -1,0 +1,92 @@
+//! # sctm-bench — the paper's evaluation, regenerated
+//!
+//! One function per experiment (E1–E9, see DESIGN.md §4), each
+//! returning a renderable [`Table`]. The `tables` binary prints them;
+//! integration tests assert their qualitative shape; the Criterion
+//! benches measure the simulator throughputs behind E2/E5.
+//!
+//! Experiments run at two scales: [`Scale::Quick`] (CI-sized, seconds)
+//! and [`Scale::Full`] (paper-sized, minutes). Shapes — who wins, by
+//! what factor, where crossovers fall — must hold at both.
+
+pub mod experiments;
+
+pub use experiments::*;
+
+use sctm_engine::table::Table;
+
+/// Experiment sizing.
+#[derive(Clone, Copy, PartialEq, Eq, Debug)]
+pub enum Scale {
+    /// Small systems, short scripts: seconds per experiment.
+    Quick,
+    /// Paper-sized: 64-core flagship, longer scripts.
+    Full,
+}
+
+impl Scale {
+    /// Mesh side of the flagship configuration.
+    pub fn side(self) -> usize {
+        match self {
+            Scale::Quick => 4,
+            Scale::Full => 8,
+        }
+    }
+
+    /// Workload script length per core.
+    pub fn ops(self) -> usize {
+        match self {
+            Scale::Quick => 400,
+            Scale::Full => 1200,
+        }
+    }
+}
+
+/// Run `jobs` closures on worker threads (one per job, capped by the
+/// host) and return results in input order. Each job builds its own
+/// simulators, so determinism is preserved per cell.
+pub fn par_map<T: Send, F: FnOnce() -> T + Send>(jobs: Vec<F>) -> Vec<T> {
+    let mut out: Vec<Option<T>> = jobs.iter().map(|_| None).collect();
+    crossbeam::thread::scope(|s| {
+        let mut handles = Vec::new();
+        for (i, job) in jobs.into_iter().enumerate() {
+            handles.push((i, s.spawn(move |_| job())));
+        }
+        for (i, h) in handles {
+            out[i] = Some(h.join().expect("experiment worker panicked"));
+        }
+    })
+    .expect("scope failed");
+    out.into_iter().map(|x| x.unwrap()).collect()
+}
+
+/// Experiment ids in report order.
+pub const EXPERIMENT_IDS: [&str; 11] =
+    ["e1", "e2", "e3", "e4", "e5", "e6", "e7", "e8", "e9", "e10", "a1"];
+
+/// Run one experiment by id.
+pub fn run_experiment(id: &str, scale: Scale) -> Option<Table> {
+    Some(match id {
+        "e1" => e1_configuration(scale),
+        "e2" => e2_case_study(scale),
+        "e3" => e3_accuracy_per_application(scale),
+        "e4" => e4_convergence(scale),
+        "e5" => e5_simulation_time_scaling(scale),
+        "e6" => e6_load_latency(scale),
+        "e7" => e7_power_budget(scale),
+        "e8" => e8_capture_model_sensitivity(scale),
+        "e9" => e9_online_correction(scale),
+        "e10" => e10_latency_distribution(scale),
+        "a1" => a1_ablation(scale),
+        _ => return None,
+    })
+}
+
+/// All experiments in order, as (id, table) pairs (eager; prefer
+/// [`run_experiment`] for streaming output).
+pub fn all_experiments(scale: Scale) -> Vec<(&'static str, Table)> {
+    EXPERIMENT_IDS
+        .iter()
+        .map(|id| (*id, run_experiment(id, scale).unwrap()))
+        .collect()
+}

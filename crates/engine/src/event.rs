@@ -1,0 +1,244 @@
+//! Deterministic pending-event set.
+//!
+//! A thin wrapper around `BinaryHeap` that delivers events in
+//! `(timestamp, insertion sequence)` order. The sequence tiebreak is what
+//! makes whole-simulation determinism possible: `BinaryHeap` alone is
+//! not stable, so two events scheduled for the same picosecond could pop
+//! in either order depending on heap shape, and any RNG draw or stats
+//! update downstream of that order would diverge between runs.
+
+use crate::time::SimTime;
+use std::cmp::Ordering;
+use std::collections::BinaryHeap;
+
+/// An event of payload type `E` scheduled at a point in simulated time.
+#[derive(Debug, Clone)]
+pub struct QueuedEvent<E> {
+    pub at: SimTime,
+    pub seq: u64,
+    pub payload: E,
+}
+
+impl<E> PartialEq for QueuedEvent<E> {
+    fn eq(&self, other: &Self) -> bool {
+        self.at == other.at && self.seq == other.seq
+    }
+}
+impl<E> Eq for QueuedEvent<E> {}
+
+// Reverse ordering: BinaryHeap is a max-heap, we want earliest first.
+impl<E> Ord for QueuedEvent<E> {
+    fn cmp(&self, other: &Self) -> Ordering {
+        other
+            .at
+            .cmp(&self.at)
+            .then_with(|| other.seq.cmp(&self.seq))
+    }
+}
+impl<E> PartialOrd for QueuedEvent<E> {
+    fn partial_cmp(&self, other: &Self) -> Option<Ordering> {
+        Some(self.cmp(other))
+    }
+}
+
+/// Min-queue of timestamped events with FIFO tiebreak.
+///
+/// Also tracks the current simulation time (`now`), which advances
+/// monotonically as events are popped. Scheduling into the past is a
+/// model bug and panics in debug builds; in release it is clamped to
+/// `now` (the least-wrong recovery, and cheaper than a branch miss on a
+/// cold error path).
+#[derive(Debug)]
+pub struct EventQueue<E> {
+    heap: BinaryHeap<QueuedEvent<E>>,
+    next_seq: u64,
+    now: SimTime,
+}
+
+impl<E> Default for EventQueue<E> {
+    fn default() -> Self {
+        Self::new()
+    }
+}
+
+impl<E> EventQueue<E> {
+    pub fn new() -> Self {
+        EventQueue {
+            heap: BinaryHeap::new(),
+            next_seq: 0,
+            now: SimTime::ZERO,
+        }
+    }
+
+    pub fn with_capacity(cap: usize) -> Self {
+        EventQueue {
+            heap: BinaryHeap::with_capacity(cap),
+            next_seq: 0,
+            now: SimTime::ZERO,
+        }
+    }
+
+    /// Current simulation time: the timestamp of the last popped event.
+    #[inline]
+    pub fn now(&self) -> SimTime {
+        self.now
+    }
+
+    /// Number of pending events.
+    #[inline]
+    pub fn len(&self) -> usize {
+        self.heap.len()
+    }
+
+    #[inline]
+    pub fn is_empty(&self) -> bool {
+        self.heap.is_empty()
+    }
+
+    /// Schedule `payload` at absolute time `at`.
+    #[inline]
+    pub fn schedule(&mut self, at: SimTime, payload: E) {
+        debug_assert!(
+            at >= self.now,
+            "event scheduled in the past: at={at:?} now={:?}",
+            self.now
+        );
+        let at = at.max(self.now);
+        let seq = self.next_seq;
+        self.next_seq += 1;
+        self.heap.push(QueuedEvent { at, seq, payload });
+    }
+
+    /// Schedule `payload` at `now + delay`.
+    #[inline]
+    pub fn schedule_in(&mut self, delay: SimTime, payload: E) {
+        let at = self.now + delay;
+        self.schedule(at, payload);
+    }
+
+    /// Timestamp of the next event without popping it.
+    #[inline]
+    pub fn peek_time(&self) -> Option<SimTime> {
+        self.heap.peek().map(|e| e.at)
+    }
+
+    /// Pop the earliest event, advancing `now` to its timestamp.
+    #[inline]
+    pub fn pop(&mut self) -> Option<QueuedEvent<E>> {
+        let ev = self.heap.pop()?;
+        debug_assert!(ev.at >= self.now, "event queue time went backwards");
+        self.now = ev.at;
+        Some(ev)
+    }
+
+    /// Pop the earliest event only if it is due at or before `deadline`.
+    /// Used for epoch-bounded simulation (the online correction loop).
+    #[inline]
+    pub fn pop_before(&mut self, deadline: SimTime) -> Option<QueuedEvent<E>> {
+        if self.peek_time()? <= deadline {
+            self.pop()
+        } else {
+            None
+        }
+    }
+
+    /// Advance `now` directly (e.g. to a barrier or epoch boundary with
+    /// no event exactly on it). Never moves time backwards.
+    pub fn advance_to(&mut self, t: SimTime) {
+        if t > self.now {
+            self.now = t;
+        }
+    }
+
+    /// Drop all pending events and reset the clock. Sequence numbers are
+    /// *not* reset, so replaying after a drain still has unique seqs.
+    pub fn clear(&mut self) {
+        self.heap.clear();
+        self.now = SimTime::ZERO;
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn pops_in_time_order() {
+        let mut q = EventQueue::new();
+        q.schedule(SimTime::from_ps(30), "c");
+        q.schedule(SimTime::from_ps(10), "a");
+        q.schedule(SimTime::from_ps(20), "b");
+        let order: Vec<_> = std::iter::from_fn(|| q.pop().map(|e| e.payload)).collect();
+        assert_eq!(order, vec!["a", "b", "c"]);
+    }
+
+    #[test]
+    fn ties_break_fifo() {
+        let mut q = EventQueue::new();
+        for i in 0..100 {
+            q.schedule(SimTime::from_ps(5), i);
+        }
+        let order: Vec<_> = std::iter::from_fn(|| q.pop().map(|e| e.payload)).collect();
+        assert_eq!(order, (0..100).collect::<Vec<_>>());
+    }
+
+    #[test]
+    fn now_tracks_last_pop() {
+        let mut q = EventQueue::new();
+        q.schedule(SimTime::from_ps(42), ());
+        assert_eq!(q.now(), SimTime::ZERO);
+        q.pop();
+        assert_eq!(q.now(), SimTime::from_ps(42));
+    }
+
+    #[test]
+    fn schedule_in_is_relative() {
+        let mut q = EventQueue::new();
+        q.schedule(SimTime::from_ps(10), 1);
+        q.pop();
+        q.schedule_in(SimTime::from_ps(5), 2);
+        assert_eq!(q.peek_time(), Some(SimTime::from_ps(15)));
+    }
+
+    #[test]
+    fn pop_before_respects_deadline() {
+        let mut q = EventQueue::new();
+        q.schedule(SimTime::from_ps(10), 1);
+        q.schedule(SimTime::from_ps(20), 2);
+        assert_eq!(q.pop_before(SimTime::from_ps(15)).map(|e| e.payload), Some(1));
+        assert_eq!(q.pop_before(SimTime::from_ps(15)), None);
+        assert_eq!(q.len(), 1);
+    }
+
+    #[test]
+    fn advance_to_is_monotone() {
+        let mut q: EventQueue<()> = EventQueue::new();
+        q.advance_to(SimTime::from_ps(100));
+        assert_eq!(q.now(), SimTime::from_ps(100));
+        q.advance_to(SimTime::from_ps(50));
+        assert_eq!(q.now(), SimTime::from_ps(100));
+    }
+
+    #[test]
+    fn clear_resets_clock_but_not_seq() {
+        let mut q = EventQueue::new();
+        q.schedule(SimTime::from_ps(10), 1);
+        q.pop();
+        q.clear();
+        assert_eq!(q.now(), SimTime::ZERO);
+        assert!(q.is_empty());
+        q.schedule(SimTime::from_ps(1), 2);
+        let e = q.pop().unwrap();
+        assert!(e.seq >= 1, "sequence numbers must stay unique across clear");
+    }
+
+    #[test]
+    #[cfg(debug_assertions)]
+    #[should_panic(expected = "scheduled in the past")]
+    fn scheduling_in_past_panics_in_debug() {
+        let mut q = EventQueue::new();
+        q.schedule(SimTime::from_ps(10), ());
+        q.pop();
+        q.schedule(SimTime::from_ps(5), ());
+    }
+}

@@ -1,0 +1,227 @@
+//! Packets, flits, and message ↔ packet conversion.
+//!
+//! Every [`Message`] maps to exactly one wormhole packet. The head flit
+//! carries routing state and up to [`HEAD_PAYLOAD_BYTES`] of payload
+//! (enough for a bare coherence control message, which therefore fits in
+//! a single head-tail flit); remaining payload is segmented into
+//! [`PacketizeConfig::flit_bytes`]-sized body flits, the last marked
+//! Tail.
+
+use sctm_engine::net::{Message, MsgId, NodeId};
+use sctm_engine::time::SimTime;
+use std::collections::HashMap;
+
+/// Payload bytes that ride inside the head flit alongside the header.
+pub const HEAD_PAYLOAD_BYTES: u32 = 8;
+
+/// Position of a flit within its packet.
+#[derive(Clone, Copy, PartialEq, Eq, Debug)]
+pub enum FlitKind {
+    /// Head of a multi-flit packet.
+    Head,
+    /// Interior flit.
+    Body,
+    /// Last flit of a multi-flit packet.
+    Tail,
+    /// Entire packet in one flit.
+    HeadTail,
+}
+
+impl FlitKind {
+    #[inline]
+    pub fn is_head(self) -> bool {
+        matches!(self, FlitKind::Head | FlitKind::HeadTail)
+    }
+    #[inline]
+    pub fn is_tail(self) -> bool {
+        matches!(self, FlitKind::Tail | FlitKind::HeadTail)
+    }
+}
+
+/// One flow-control unit.
+#[derive(Clone, Copy, Debug)]
+pub struct Flit {
+    pub kind: FlitKind,
+    /// Packet (== message) this flit belongs to.
+    pub pkt: MsgId,
+    pub dst: NodeId,
+    /// Source node (used by source-aware routing like odd-even).
+    pub src_hint: NodeId,
+    /// Virtual network (0 = control, 1 = data).
+    pub vnet: u8,
+    /// Set once the flit has crossed a torus dateline in any dimension.
+    pub dateline: bool,
+    /// Cycle at which this flit may next compete for the switch
+    /// (models link traversal + router pipeline depth).
+    pub ready_cycle: u64,
+}
+
+/// Packetisation parameters.
+#[derive(Clone, Copy, Debug)]
+pub struct PacketizeConfig {
+    /// Payload bytes per body flit (link width × phit count).
+    pub flit_bytes: u32,
+}
+
+impl Default for PacketizeConfig {
+    fn default() -> Self {
+        PacketizeConfig { flit_bytes: 16 }
+    }
+}
+
+impl PacketizeConfig {
+    /// Number of flits for a message of `bytes` payload.
+    pub fn flit_count(&self, bytes: u32) -> usize {
+        if bytes <= HEAD_PAYLOAD_BYTES {
+            1
+        } else {
+            1 + ((bytes - HEAD_PAYLOAD_BYTES) as usize).div_ceil(self.flit_bytes as usize)
+        }
+    }
+
+    /// Build the flit sequence for `msg`.
+    pub fn packetize(&self, msg: &Message) -> Vec<Flit> {
+        let n = self.flit_count(msg.bytes);
+        let vnet = match msg.class {
+            sctm_engine::net::MsgClass::Control => 0,
+            sctm_engine::net::MsgClass::Data => 1,
+        };
+        (0..n)
+            .map(|i| {
+                let kind = match (i, n) {
+                    (0, 1) => FlitKind::HeadTail,
+                    (0, _) => FlitKind::Head,
+                    (i, n) if i + 1 == n => FlitKind::Tail,
+                    _ => FlitKind::Body,
+                };
+                Flit {
+                    kind,
+                    pkt: msg.id,
+                    dst: msg.dst,
+                    src_hint: msg.src,
+                    vnet,
+                    dateline: false,
+                    ready_cycle: 0,
+                }
+            })
+            .collect()
+    }
+}
+
+/// Per-destination packet reassembly: counts ejected flits and reports
+/// completion when the tail arrives.
+#[derive(Debug, Default)]
+pub struct Reassembly {
+    open: HashMap<u64, (Message, SimTime, usize)>,
+}
+
+impl Reassembly {
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Register a packet at injection time so its metadata survives the
+    /// flits (flits carry only ids).
+    pub fn begin(&mut self, msg: Message, injected_at: SimTime) {
+        let prev = self.open.insert(msg.id.0, (msg, injected_at, 0));
+        debug_assert!(prev.is_none(), "duplicate packet id {:?}", msg.id);
+    }
+
+    /// Record one ejected flit; on the tail flit, returns the completed
+    /// message and its injection time.
+    pub fn eject(&mut self, flit: &Flit) -> Option<(Message, SimTime)> {
+        let entry = self
+            .open
+            .get_mut(&flit.pkt.0)
+            .expect("ejected flit for unknown packet");
+        entry.2 += 1;
+        if flit.kind.is_tail() {
+            let (msg, t, _) = self.open.remove(&flit.pkt.0).unwrap();
+            Some((msg, t))
+        } else {
+            None
+        }
+    }
+
+    /// Packets not yet fully ejected.
+    pub fn open_count(&self) -> usize {
+        self.open.len()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use sctm_engine::net::MsgClass;
+
+    fn msg(bytes: u32) -> Message {
+        Message {
+            id: MsgId(7),
+            src: NodeId(0),
+            dst: NodeId(3),
+            class: if bytes > 16 { MsgClass::Data } else { MsgClass::Control },
+            bytes,
+        }
+    }
+
+    #[test]
+    fn control_fits_in_one_flit() {
+        let c = PacketizeConfig::default();
+        assert_eq!(c.flit_count(0), 1);
+        assert_eq!(c.flit_count(8), 1);
+        let flits = c.packetize(&msg(8));
+        assert_eq!(flits.len(), 1);
+        assert_eq!(flits[0].kind, FlitKind::HeadTail);
+    }
+
+    #[test]
+    fn cacheline_is_five_flits() {
+        let c = PacketizeConfig::default();
+        // 64B line: 8B in head + 56B / 16B = 4 (3.5 rounded up) body flits
+        assert_eq!(c.flit_count(64), 5);
+        let flits = c.packetize(&msg(64));
+        assert_eq!(flits[0].kind, FlitKind::Head);
+        assert!(flits[1..4].iter().all(|f| f.kind == FlitKind::Body));
+        assert_eq!(flits[4].kind, FlitKind::Tail);
+    }
+
+    #[test]
+    fn boundary_sizes() {
+        let c = PacketizeConfig::default();
+        assert_eq!(c.flit_count(9), 2); // head + 1 body
+        assert_eq!(c.flit_count(24), 2); // 8 + 16 exactly
+        assert_eq!(c.flit_count(25), 3);
+    }
+
+    #[test]
+    fn reassembly_completes_on_tail() {
+        let c = PacketizeConfig::default();
+        let m = msg(64);
+        let flits = c.packetize(&m);
+        let mut r = Reassembly::new();
+        r.begin(m, SimTime::from_ps(5));
+        for f in &flits[..4] {
+            assert!(r.eject(f).is_none());
+        }
+        let (done, t) = r.eject(&flits[4]).unwrap();
+        assert_eq!(done.id, m.id);
+        assert_eq!(t, SimTime::from_ps(5));
+        assert_eq!(r.open_count(), 0);
+    }
+
+    #[test]
+    fn reassembly_tracks_multiple_packets() {
+        let c = PacketizeConfig::default();
+        let mut r = Reassembly::new();
+        let mut m1 = msg(8);
+        m1.id = MsgId(1);
+        let mut m2 = msg(8);
+        m2.id = MsgId(2);
+        r.begin(m1, SimTime::ZERO);
+        r.begin(m2, SimTime::ZERO);
+        assert_eq!(r.open_count(), 2);
+        let f2 = &c.packetize(&m2)[0];
+        assert_eq!(r.eject(f2).unwrap().0.id, MsgId(2));
+        assert_eq!(r.open_count(), 1);
+    }
+}

@@ -1,0 +1,203 @@
+//! Photonic component models.
+//!
+//! Each component contributes optical insertion loss (dB) on the light
+//! path and electrical power for its drive/tuning circuitry. Parameter
+//! defaults follow the values commonly used in the 2010–2013 ONoC
+//! literature (Corona, Firefly, FlexiShare, PhoenixSim/DSENT studies);
+//! everything is configurable so experiment E7 can sweep them.
+
+/// Decibel value (positive = loss).
+pub type Db = f64;
+/// Optical power in dBm.
+pub type Dbm = f64;
+
+/// Convert milliwatts to dBm.
+pub fn mw_to_dbm(mw: f64) -> Dbm {
+    assert!(mw > 0.0, "dBm of non-positive power");
+    10.0 * mw.log10()
+}
+
+/// Convert dBm to milliwatts.
+pub fn dbm_to_mw(dbm: Dbm) -> f64 {
+    10f64.powf(dbm / 10.0)
+}
+
+/// Straight + bent silicon waveguide segments.
+#[derive(Clone, Copy, Debug)]
+pub struct Waveguide {
+    /// Propagation loss per centimetre.
+    pub loss_db_per_cm: Db,
+    /// Loss per 90° bend.
+    pub bend_loss_db: Db,
+    /// Loss per waveguide crossing.
+    pub crossing_loss_db: Db,
+    /// Group index (determines time of flight).
+    pub group_index: f64,
+}
+
+impl Default for Waveguide {
+    fn default() -> Self {
+        Waveguide {
+            loss_db_per_cm: 1.0,
+            bend_loss_db: 0.005,
+            crossing_loss_db: 0.05,
+            group_index: 4.2,
+        }
+    }
+}
+
+impl Waveguide {
+    /// Loss of a path with the given geometry.
+    pub fn path_loss(&self, length_mm: f64, bends: u32, crossings: u32) -> Db {
+        self.loss_db_per_cm * (length_mm / 10.0)
+            + self.bend_loss_db * bends as f64
+            + self.crossing_loss_db * crossings as f64
+    }
+
+    /// Time of flight over `length_mm`, in picoseconds.
+    /// v = c / n_g;  c = 0.2998 mm/ps.
+    pub fn tof_ps(&self, length_mm: f64) -> u64 {
+        const C_MM_PER_PS: f64 = 0.299_792_458;
+        (length_mm * self.group_index / C_MM_PER_PS).ceil() as u64
+    }
+}
+
+/// Microring resonator used as modulator or drop filter.
+#[derive(Clone, Copy, Debug)]
+pub struct Microring {
+    /// Loss through an on-resonance ring (modulator insertion / drop).
+    pub drop_loss_db: Db,
+    /// Loss passing an off-resonance ring on the same waveguide.
+    pub through_loss_db: Db,
+    /// Dynamic modulation energy, femtojoules per bit.
+    pub modulation_fj_per_bit: f64,
+    /// Static thermal trimming power per ring, microwatts.
+    pub trimming_uw: f64,
+}
+
+impl Default for Microring {
+    fn default() -> Self {
+        Microring {
+            drop_loss_db: 1.0,
+            through_loss_db: 0.01,
+            modulation_fj_per_bit: 85.0,
+            trimming_uw: 20.0,
+        }
+    }
+}
+
+/// Germanium photodetector + receiver front-end.
+#[derive(Clone, Copy, Debug)]
+pub struct Photodetector {
+    /// Minimum optical power for the target BER, dBm.
+    pub sensitivity_dbm: Dbm,
+    /// Receiver circuit energy, femtojoules per bit.
+    pub rx_fj_per_bit: f64,
+}
+
+impl Default for Photodetector {
+    fn default() -> Self {
+        Photodetector {
+            sensitivity_dbm: -20.0,
+            rx_fj_per_bit: 50.0,
+        }
+    }
+}
+
+/// Off-chip comb laser feeding the chip through a coupler.
+#[derive(Clone, Copy, Debug)]
+pub struct Laser {
+    /// Wall-plug efficiency (optical out / electrical in).
+    pub efficiency: f64,
+    /// Fibre-to-chip coupler loss.
+    pub coupler_loss_db: Db,
+}
+
+impl Default for Laser {
+    fn default() -> Self {
+        Laser { efficiency: 0.3, coupler_loss_db: 1.0 }
+    }
+}
+
+impl Laser {
+    /// Electrical power (mW) needed so that `required_dbm_at_detector`
+    /// arrives after `path_loss_db` of on-chip loss, per wavelength.
+    pub fn electrical_mw_per_lambda(
+        &self,
+        path_loss_db: Db,
+        required_dbm_at_detector: Dbm,
+    ) -> f64 {
+        let launch_dbm = required_dbm_at_detector + path_loss_db + self.coupler_loss_db;
+        dbm_to_mw(launch_dbm) / self.efficiency
+    }
+}
+
+/// A complete device kit — the process design kit for an architecture.
+#[derive(Clone, Copy, Debug, Default)]
+pub struct DeviceKit {
+    pub waveguide: Waveguide,
+    pub ring: Microring,
+    pub detector: Photodetector,
+    pub laser: Laser,
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn dbm_roundtrip() {
+        for mw in [0.01, 0.5, 1.0, 10.0, 250.0] {
+            let back = dbm_to_mw(mw_to_dbm(mw));
+            assert!((back - mw).abs() / mw < 1e-12);
+        }
+        assert_eq!(mw_to_dbm(1.0), 0.0);
+        assert!((dbm_to_mw(10.0) - 10.0).abs() < 1e-12);
+    }
+
+    #[test]
+    #[should_panic(expected = "non-positive")]
+    fn dbm_of_zero_rejected() {
+        mw_to_dbm(0.0);
+    }
+
+    #[test]
+    fn waveguide_path_loss_adds_up() {
+        let wg = Waveguide::default();
+        let loss = wg.path_loss(20.0, 4, 10);
+        // 2 cm * 1 dB + 4*0.005 + 10*0.05 = 2.52
+        assert!((loss - 2.52).abs() < 1e-12);
+        assert_eq!(wg.path_loss(0.0, 0, 0), 0.0);
+    }
+
+    #[test]
+    fn time_of_flight_scale() {
+        let wg = Waveguide::default();
+        // 1 mm at n_g=4.2 → ~14 ps
+        let t = wg.tof_ps(1.0);
+        assert!((13..=15).contains(&t), "tof 1mm = {t} ps");
+        // 20 mm die crossing → ~280 ps
+        let t20 = wg.tof_ps(20.0);
+        assert!((270..=290).contains(&t20), "tof 20mm = {t20} ps");
+    }
+
+    #[test]
+    fn laser_power_grows_exponentially_with_loss() {
+        let l = Laser::default();
+        let p10 = l.electrical_mw_per_lambda(10.0, -20.0);
+        let p20 = l.electrical_mw_per_lambda(20.0, -20.0);
+        assert!((p20 / p10 - 10.0).abs() < 1e-9, "10 dB = 10x power");
+        // sanity magnitude: 10 dB loss, -20 dBm sensitivity, 1 dB coupler,
+        // 30% efficiency → 10^(-0.9)/0.3 ≈ 0.42 mW
+        assert!((p10 - dbm_to_mw(-9.0) / 0.3).abs() < 1e-9);
+    }
+
+    #[test]
+    fn default_kit_is_physically_plausible() {
+        let kit = DeviceKit::default();
+        assert!(kit.waveguide.loss_db_per_cm > 0.0);
+        assert!(kit.ring.through_loss_db < kit.ring.drop_loss_db);
+        assert!(kit.detector.sensitivity_dbm < 0.0);
+        assert!(kit.laser.efficiency > 0.0 && kit.laser.efficiency < 1.0);
+    }
+}

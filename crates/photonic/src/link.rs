@@ -1,0 +1,198 @@
+//! Optical link budget and energy solver.
+//!
+//! An [`OpticalPath`] is the physical inventory of one worst-case light
+//! path: waveguide length, bends, crossings, rings passed and rings used.
+//! From it and a [`DeviceKit`] the solver derives total insertion loss,
+//! per-wavelength laser power, and the full energy-per-bit breakdown the
+//! paper-style power table (experiment E7) reports.
+
+use crate::devices::{Db, DeviceKit};
+
+/// Physical inventory of one light path through the network.
+#[derive(Clone, Copy, Debug, Default)]
+pub struct OpticalPath {
+    pub length_mm: f64,
+    pub bends: u32,
+    pub crossings: u32,
+    /// Off-resonance rings the light passes (through loss each).
+    pub rings_passed: u32,
+    /// On-resonance rings actually used (modulator + drop filter).
+    pub rings_used: u32,
+}
+
+impl OpticalPath {
+    /// Total insertion loss along this path for the given kit.
+    pub fn insertion_loss_db(&self, kit: &DeviceKit) -> Db {
+        kit.waveguide
+            .path_loss(self.length_mm, self.bends, self.crossings)
+            + kit.ring.through_loss_db * self.rings_passed as f64
+            + kit.ring.drop_loss_db * self.rings_used as f64
+    }
+
+    /// Propagation delay in picoseconds.
+    pub fn tof_ps(&self, kit: &DeviceKit) -> u64 {
+        kit.waveguide.tof_ps(self.length_mm)
+    }
+}
+
+/// Static + dynamic power decomposition for one link/network.
+#[derive(Clone, Copy, Debug, Default)]
+pub struct PowerBreakdown {
+    /// Electrical laser power (static, always on), milliwatts.
+    pub laser_mw: f64,
+    /// Ring thermal trimming (static), milliwatts.
+    pub trimming_mw: f64,
+    /// Modulator dynamic energy at the given utilisation, milliwatts.
+    pub modulation_mw: f64,
+    /// Receiver dynamic energy, milliwatts.
+    pub receiver_mw: f64,
+}
+
+impl PowerBreakdown {
+    pub fn total_mw(&self) -> f64 {
+        self.laser_mw + self.trimming_mw + self.modulation_mw + self.receiver_mw
+    }
+
+    /// Energy per bit in picojoules at `gbps_total` aggregate traffic.
+    pub fn pj_per_bit(&self, gbps_total: f64) -> f64 {
+        if gbps_total <= 0.0 {
+            return f64::INFINITY;
+        }
+        // mW / Gbps = pJ/bit
+        self.total_mw() / gbps_total
+    }
+}
+
+/// Solver tying a worst-case path, a device kit and a channel count into
+/// loss, laser power and the power breakdown.
+#[derive(Clone, Copy, Debug)]
+pub struct LinkBudget {
+    pub kit: DeviceKit,
+    pub worst_path: OpticalPath,
+    /// DWDM wavelengths per waveguide.
+    pub lambdas: u32,
+    /// Line rate per wavelength, Gb/s.
+    pub gbps_per_lambda: f64,
+    /// Total rings that need thermal trimming in the network.
+    pub total_rings: u64,
+    /// Number of laser-fed waveguides (each carries `lambdas` channels).
+    pub waveguides: u32,
+}
+
+impl LinkBudget {
+    /// Worst-case insertion loss, dB.
+    pub fn worst_loss_db(&self) -> Db {
+        self.worst_path.insertion_loss_db(&self.kit)
+    }
+
+    /// Total electrical laser power for the whole network, milliwatts.
+    ///
+    /// The laser must budget for the *worst-case* path on every channel
+    /// of every powered waveguide (lasers are not modulated per packet).
+    pub fn laser_mw(&self) -> f64 {
+        let per_lambda = self
+            .kit
+            .laser
+            .electrical_mw_per_lambda(self.worst_loss_db(), self.kit.detector.sensitivity_dbm);
+        per_lambda * self.lambdas as f64 * self.waveguides as f64
+    }
+
+    /// Peak aggregate bandwidth of the photonic network, Gb/s.
+    pub fn peak_gbps(&self) -> f64 {
+        self.gbps_per_lambda * self.lambdas as f64 * self.waveguides as f64
+    }
+
+    /// Full power breakdown at fractional link utilisation `util` in `0..=1`.
+    pub fn power(&self, util: f64) -> PowerBreakdown {
+        let util = util.clamp(0.0, 1.0);
+        let active_gbps = self.peak_gbps() * util;
+        PowerBreakdown {
+            laser_mw: self.laser_mw(),
+            trimming_mw: self.kit.ring.trimming_uw * self.total_rings as f64 / 1000.0,
+            // fJ/bit × Gbit/s = µW; /1000 → mW
+            modulation_mw: self.kit.ring.modulation_fj_per_bit * active_gbps / 1_000_000.0 * 1000.0,
+            receiver_mw: self.kit.detector.rx_fj_per_bit * active_gbps / 1_000_000.0 * 1000.0,
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn budget() -> LinkBudget {
+        LinkBudget {
+            kit: DeviceKit::default(),
+            worst_path: OpticalPath {
+                length_mm: 30.0,
+                bends: 8,
+                crossings: 16,
+                rings_passed: 128,
+                rings_used: 2,
+            },
+            lambdas: 64,
+            gbps_per_lambda: 10.0,
+            total_rings: 64 * 64,
+            waveguides: 8,
+        }
+    }
+
+    #[test]
+    fn loss_composition() {
+        let b = budget();
+        let kit = DeviceKit::default();
+        let expect = kit.waveguide.path_loss(30.0, 8, 16)
+            + 128.0 * kit.ring.through_loss_db
+            + 2.0 * kit.ring.drop_loss_db;
+        assert!((b.worst_loss_db() - expect).abs() < 1e-12);
+        // loss should land in the usual ONoC ballpark (5–15 dB)
+        assert!(b.worst_loss_db() > 3.0 && b.worst_loss_db() < 20.0);
+    }
+
+    #[test]
+    fn peak_bandwidth() {
+        let b = budget();
+        assert!((b.peak_gbps() - 64.0 * 10.0 * 8.0).abs() < 1e-9);
+    }
+
+    #[test]
+    fn laser_power_scales_with_channels() {
+        let mut b = budget();
+        let p1 = b.laser_mw();
+        b.lambdas *= 2;
+        assert!((b.laser_mw() / p1 - 2.0).abs() < 1e-9);
+    }
+
+    #[test]
+    fn static_power_dominates_at_low_utilisation() {
+        let b = budget();
+        let p = b.power(0.01);
+        assert!(p.laser_mw + p.trimming_mw > p.modulation_mw + p.receiver_mw);
+        assert!(p.total_mw() > 0.0);
+    }
+
+    #[test]
+    fn dynamic_power_scales_with_utilisation() {
+        let b = budget();
+        let lo = b.power(0.1);
+        let hi = b.power(0.8);
+        assert!((hi.modulation_mw / lo.modulation_mw - 8.0).abs() < 1e-6);
+        assert_eq!(hi.laser_mw, lo.laser_mw, "laser power is static");
+    }
+
+    #[test]
+    fn energy_per_bit_sane() {
+        let b = budget();
+        let pj = b.power(0.5).pj_per_bit(b.peak_gbps() * 0.5);
+        // Published ONoC numbers: 0.1–5 pJ/bit range.
+        assert!(pj > 0.01 && pj < 20.0, "pj/bit = {pj}");
+        assert!(b.power(0.5).pj_per_bit(0.0).is_infinite());
+    }
+
+    #[test]
+    fn utilisation_is_clamped() {
+        let b = budget();
+        assert_eq!(b.power(2.0).modulation_mw, b.power(1.0).modulation_mw);
+        assert_eq!(b.power(-1.0).modulation_mw, 0.0);
+    }
+}

@@ -1,0 +1,85 @@
+//! DWDM channel plan and burst timing.
+//!
+//! Optical data channels carry *bursts*: a message is serialised across
+//! all wavelengths of a waveguide in parallel at the line rate. This
+//! module converts message sizes to wire time, which is the quantity the
+//! optical network simulators schedule with.
+
+use sctm_engine::time::SimTime;
+
+/// A DWDM channel plan for one waveguide bundle.
+#[derive(Clone, Copy, Debug)]
+pub struct ChannelPlan {
+    /// Wavelengths ganged together for one logical channel.
+    pub lambdas: u32,
+    /// Line rate per wavelength, Gb/s.
+    pub gbps_per_lambda: f64,
+}
+
+impl Default for ChannelPlan {
+    fn default() -> Self {
+        ChannelPlan { lambdas: 64, gbps_per_lambda: 10.0 }
+    }
+}
+
+impl ChannelPlan {
+    /// Aggregate bandwidth in Gb/s.
+    pub fn gbps(&self) -> f64 {
+        self.lambdas as f64 * self.gbps_per_lambda
+    }
+
+    /// Time to serialise `bytes` onto the channel (picoseconds, ≥ 1 bit
+    /// slot). Gb/s == bits/ns, so ps = bits * 1000 / gbps.
+    pub fn burst_time(&self, bytes: u32) -> SimTime {
+        let bits = (bytes as f64) * 8.0;
+        let ps = (bits * 1000.0 / self.gbps()).ceil() as u64;
+        SimTime::from_ps(ps.max(self.slot_ps()))
+    }
+
+    /// One bit-slot on the aggregate channel, in picoseconds (minimum
+    /// schedulable quantum).
+    pub fn slot_ps(&self) -> u64 {
+        (1000.0 / self.gbps_per_lambda).ceil() as u64
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn aggregate_bandwidth() {
+        let p = ChannelPlan::default();
+        assert!((p.gbps() - 640.0).abs() < 1e-9);
+    }
+
+    #[test]
+    fn burst_time_for_cacheline() {
+        let p = ChannelPlan::default();
+        // 64 B = 512 bits over 640 Gb/s = 0.8 ns = 800 ps
+        assert_eq!(p.burst_time(64).as_ps(), 800);
+    }
+
+    #[test]
+    fn burst_time_scales_linearly() {
+        let p = ChannelPlan::default();
+        let t64 = p.burst_time(64).as_ps();
+        let t128 = p.burst_time(128).as_ps();
+        assert_eq!(t128, 2 * t64);
+    }
+
+    #[test]
+    fn small_bursts_hit_slot_floor() {
+        let p = ChannelPlan { lambdas: 64, gbps_per_lambda: 10.0 };
+        // 1 byte = 8 bits over 640 Gb/s = 12.5 ps, below the 100 ps slot
+        assert_eq!(p.burst_time(1).as_ps(), 100);
+        assert_eq!(p.slot_ps(), 100);
+    }
+
+    #[test]
+    fn narrow_plan_is_slower() {
+        let wide = ChannelPlan { lambdas: 64, gbps_per_lambda: 10.0 };
+        let narrow = ChannelPlan { lambdas: 8, gbps_per_lambda: 10.0 };
+        assert!(narrow.burst_time(64) > wide.burst_time(64));
+    }
+}

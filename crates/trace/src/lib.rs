@@ -1,0 +1,32 @@
+//! # sctm-trace — the self-correction trace model
+//!
+//! The paper's primary contribution, reconstructed (see DESIGN.md §3):
+//! trace-driven ONoC simulation that recovers the network→core timing
+//! feedback loop execution-driven simulation has and classic
+//! trace-driven simulation loses.
+//!
+//! * [`log`] — dependency-carrying trace format and the capture hook
+//!   that plugs into the full-system simulator.
+//! * [`replay`] — the three replay engines: classic fixed-timestamp
+//!   ([`replay::replay_fixed`]), the self-correcting gated pass
+//!   ([`replay::replay_sctm_pass`], the paper's replay mechanism; the
+//!   outer capture-correction loop lives in `sctm-core`), and the
+//!   full-causality oracle ([`replay::replay_oracle`]) that bounds
+//!   achievable trace-driven accuracy.
+//! * [`online`] — the online epoch-corrected variant: an analytic
+//!   network that continuously calibrates itself against a shadow
+//!   detailed model while the full-system run proceeds.
+//! * [`persist`] — save/load traces as self-describing CSV, so one
+//!   expensive capture can be replayed everywhere.
+
+pub mod log;
+pub mod online;
+pub mod persist;
+pub mod replay;
+
+pub use log::{Capture, TraceLog, TraceRecord};
+pub use online::{OnlineCorrected, ShadowFactory};
+pub use replay::{
+    pair_corrections, replay_fixed, replay_oracle, replay_sctm_pass,
+    replay_sctm_pass_ordered, ReplayResult,
+};

@@ -1,0 +1,326 @@
+//! Trace log format and capture.
+//!
+//! A [`TraceLog`] is everything the trace model knows about one
+//! execution-driven run: per message — endpoints, size/class, capture
+//! injection & delivery times, *full* causal dependencies (which the
+//! capture instrumentation can see because it lives inside the
+//! full-system simulator), and per-endpoint program order.
+//!
+//! The replay engines deliberately use different *subsets* of this
+//! knowledge (see `replay.rs`): the classic trace model uses only
+//! timestamps; the paper's self-correction model uses timestamps +
+//! per-endpoint order + the arrival-gating heuristic; the oracle replay
+//! uses the full dependency DAG. Capturing everything once and
+//! down-sampling knowledge per engine is what makes the accuracy
+//! comparison (experiment E3) apples-to-apples.
+
+use sctm_cmp::protocol::{InjectRecord, TraceHook};
+use sctm_engine::net::{Message, MsgId};
+use sctm_engine::time::SimTime;
+
+/// One message in the trace.
+#[derive(Clone, Debug)]
+pub struct TraceRecord {
+    pub msg: Message,
+    /// Capture-time injection instant.
+    pub t_inject: SimTime,
+    /// Capture-time delivery instant.
+    pub t_deliver: SimTime,
+    /// Deliveries whose completion enabled this injection.
+    pub deps: Vec<MsgId>,
+    /// Previous message injected by the same source node.
+    pub prev_same_src: Option<MsgId>,
+    /// Protocol kind label (diagnostics only).
+    pub kind: &'static str,
+}
+
+/// A complete captured trace.
+#[derive(Clone, Debug, Default)]
+pub struct TraceLog {
+    /// Indexed by dense message id (`MsgId(i)` ↔ `records[i]`).
+    pub records: Vec<TraceRecord>,
+    /// Label of the network the capture ran on.
+    pub capture_net: &'static str,
+    /// Execution time of the capture run (set by the caller).
+    pub capture_exec_time: SimTime,
+}
+
+impl TraceLog {
+    pub fn len(&self) -> usize {
+        self.records.len()
+    }
+
+    pub fn is_empty(&self) -> bool {
+        self.records.is_empty()
+    }
+
+    #[inline]
+    pub fn rec(&self, id: MsgId) -> &TraceRecord {
+        &self.records[id.0 as usize]
+    }
+
+    /// Latest capture delivery instant (used to translate replay
+    /// deliveries into an execution-time estimate).
+    pub fn last_delivery(&self) -> SimTime {
+        self.records
+            .iter()
+            .map(|r| r.t_deliver)
+            .max()
+            .unwrap_or(SimTime::ZERO)
+    }
+
+    /// Sanity-check structural invariants; returns a human-readable
+    /// error instead of panicking so property tests can assert on it.
+    pub fn validate(&self) -> Result<(), String> {
+        for (i, r) in self.records.iter().enumerate() {
+            if r.msg.id.0 as usize != i {
+                return Err(format!("record {i} has id {:?}", r.msg.id));
+            }
+            if r.t_deliver < r.t_inject {
+                return Err(format!("msg {i} delivered before injection"));
+            }
+            for d in &r.deps {
+                if d.0 as usize >= self.records.len() {
+                    return Err(format!("msg {i} depends on unknown {d:?}"));
+                }
+                let dep = self.rec(*d);
+                if dep.t_deliver > r.t_inject {
+                    return Err(format!(
+                        "msg {i} injected at {:?} before its dep {d:?} delivered at {:?}",
+                        r.t_inject, dep.t_deliver
+                    ));
+                }
+            }
+            if let Some(p) = r.prev_same_src {
+                let prev = self.rec(p);
+                if prev.msg.src != r.msg.src {
+                    return Err(format!("msg {i} prev_same_src from a different node"));
+                }
+                // Note: prev_same_src is *decision* order, not timestamp
+                // order — a node can commit to a far-future send (e.g. a
+                // memory response) before deciding a nearer-term one, so
+                // no t_inject monotonicity is required here. Replay
+                // engines use the time-sorted `per_source_order`.
+            }
+        }
+        Ok(())
+    }
+
+    /// For each message, the id of the *most recent delivery to its
+    /// source node* at or before its injection — the arrival-gating
+    /// relation the self-correction model pairs departures with. `None`
+    /// when the node had received nothing yet.
+    ///
+    /// This is exactly the knowledge a network-level trace gives you
+    /// without protocol instrumentation: you can see what arrived at a
+    /// node before it transmitted, but not *which* arrival caused what.
+    pub fn arrival_gates(&self) -> Vec<Option<MsgId>> {
+        let mut nodes: usize = 0;
+        for r in &self.records {
+            nodes = nodes.max(r.msg.src.idx() + 1).max(r.msg.dst.idx() + 1);
+        }
+        // Events per node: (time, is_departure, msg index), processed in
+        // capture time order; ties put arrivals first so a departure at
+        // the same instant sees the arrival.
+        let mut events: Vec<(SimTime, bool, u64)> = Vec::with_capacity(self.records.len() * 2);
+        for r in &self.records {
+            events.push((r.t_inject, true, r.msg.id.0));
+            events.push((r.t_deliver, false, r.msg.id.0));
+        }
+        events.sort_by_key(|&(t, dep, id)| (t, dep, id));
+        let mut last_arrival: Vec<Option<MsgId>> = vec![None; nodes];
+        let mut gates = vec![None; self.records.len()];
+        for (_, is_dep, id) in events {
+            let r = &self.records[id as usize];
+            if is_dep {
+                gates[id as usize] = last_arrival[r.msg.src.idx()];
+            } else {
+                last_arrival[r.msg.dst.idx()] = Some(MsgId(id));
+            }
+        }
+        gates
+    }
+
+    /// Message ids grouped by source node, in injection order.
+    pub fn per_source_order(&self) -> Vec<Vec<MsgId>> {
+        let mut nodes: usize = 0;
+        for r in &self.records {
+            nodes = nodes.max(r.msg.src.idx() + 1);
+        }
+        let mut order: Vec<Vec<MsgId>> = vec![Vec::new(); nodes];
+        let mut idx: Vec<_> = (0..self.records.len()).collect();
+        idx.sort_by_key(|&i| (self.records[i].t_inject, i));
+        for i in idx {
+            order[self.records[i].msg.src.idx()].push(MsgId(i as u64));
+        }
+        order
+    }
+}
+
+/// Capture hook: plugs into `CmpSim::run` and builds a [`TraceLog`].
+#[derive(Debug, Default)]
+pub struct Capture {
+    log: TraceLog,
+}
+
+impl Capture {
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Finish capture. `net_label` and `exec_time` come from the run.
+    pub fn finish(mut self, net_label: &'static str, exec_time: SimTime) -> TraceLog {
+        self.log.capture_net = net_label;
+        self.log.capture_exec_time = exec_time;
+        self.log
+    }
+}
+
+impl TraceHook for Capture {
+    fn on_inject(&mut self, rec: InjectRecord) {
+        debug_assert_eq!(
+            rec.msg.id.0 as usize,
+            self.log.records.len(),
+            "capture assumes dense sequential message ids"
+        );
+        self.log.records.push(TraceRecord {
+            msg: rec.msg,
+            t_inject: rec.at,
+            t_deliver: SimTime::MAX,
+            deps: rec.deps,
+            prev_same_src: rec.prev_same_src,
+            kind: rec.kind,
+        });
+    }
+
+    fn on_deliver(&mut self, id: MsgId, at: SimTime) {
+        self.log.records[id.0 as usize].t_deliver = at;
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use sctm_engine::net::{MsgClass, NodeId};
+
+    fn mk_rec(id: u64, src: u32, dst: u32, inj: u64, del: u64, deps: Vec<u64>) -> TraceRecord {
+        TraceRecord {
+            msg: Message {
+                id: MsgId(id),
+                src: NodeId(src),
+                dst: NodeId(dst),
+                class: MsgClass::Control,
+                bytes: 8,
+            },
+            t_inject: SimTime::from_ps(inj),
+            t_deliver: SimTime::from_ps(del),
+            deps: deps.into_iter().map(MsgId).collect(),
+            prev_same_src: None,
+            kind: "test",
+        }
+    }
+
+    fn tiny_log() -> TraceLog {
+        // 0: n0→n1 at 0..100; 1: n1→n0 at 150..250 (dep 0); 2: n0→n1 at
+        // 300..400 (dep 1).
+        TraceLog {
+            records: vec![
+                mk_rec(0, 0, 1, 0, 100, vec![]),
+                mk_rec(1, 1, 0, 150, 250, vec![0]),
+                mk_rec(2, 0, 1, 300, 400, vec![1]),
+            ],
+            capture_net: "test",
+            capture_exec_time: SimTime::from_ps(500),
+        }
+    }
+
+    #[test]
+    fn validate_accepts_wellformed() {
+        assert_eq!(tiny_log().validate(), Ok(()));
+    }
+
+    #[test]
+    fn validate_rejects_causality_violation() {
+        let mut log = tiny_log();
+        log.records[2].t_inject = SimTime::from_ps(200); // before dep 1 delivers at 250
+        assert!(log.validate().is_err());
+    }
+
+    #[test]
+    fn validate_rejects_delivery_before_injection() {
+        let mut log = tiny_log();
+        log.records[0].t_deliver = SimTime::from_ps(0);
+        log.records[0].t_inject = SimTime::from_ps(10);
+        assert!(log.validate().is_err());
+    }
+
+    #[test]
+    fn arrival_gates_pair_departures_with_latest_arrival() {
+        let log = tiny_log();
+        let gates = log.arrival_gates();
+        assert_eq!(gates[0], None, "first departure had no arrivals");
+        assert_eq!(gates[1], Some(MsgId(0)), "n1's reply gated by msg 0");
+        assert_eq!(gates[2], Some(MsgId(1)), "n0's next gated by msg 1");
+    }
+
+    #[test]
+    fn arrival_gates_tie_arrival_first() {
+        // Arrival and departure at the same instant: departure sees it.
+        let log = TraceLog {
+            records: vec![
+                mk_rec(0, 0, 1, 0, 100, vec![]),
+                mk_rec(1, 1, 0, 100, 200, vec![0]),
+            ],
+            capture_net: "test",
+            capture_exec_time: SimTime::from_ps(200),
+        };
+        assert_eq!(log.arrival_gates()[1], Some(MsgId(0)));
+    }
+
+    #[test]
+    fn per_source_order_sorted_by_injection() {
+        let log = TraceLog {
+            records: vec![
+                mk_rec(0, 0, 1, 500, 600, vec![]),
+                mk_rec(1, 0, 1, 100, 200, vec![]),
+                mk_rec(2, 1, 0, 50, 80, vec![]),
+            ],
+            capture_net: "test",
+            capture_exec_time: SimTime::from_ps(600),
+        };
+        let order = log.per_source_order();
+        assert_eq!(order[0], vec![MsgId(1), MsgId(0)]);
+        assert_eq!(order[1], vec![MsgId(2)]);
+    }
+
+    #[test]
+    fn capture_hook_roundtrip() {
+        let mut cap = Capture::new();
+        let msg = Message {
+            id: MsgId(0),
+            src: NodeId(0),
+            dst: NodeId(1),
+            class: MsgClass::Data,
+            bytes: 72,
+        };
+        cap.on_inject(InjectRecord {
+            msg,
+            at: SimTime::from_ps(10),
+            deps: vec![],
+            prev_same_src: None,
+            kind: "GetS",
+        });
+        cap.on_deliver(MsgId(0), SimTime::from_ps(90));
+        let log = cap.finish("emesh", SimTime::from_ps(100));
+        assert_eq!(log.len(), 1);
+        assert_eq!(log.rec(MsgId(0)).t_deliver, SimTime::from_ps(90));
+        assert_eq!(log.capture_net, "emesh");
+        assert_eq!(log.validate(), Ok(()));
+    }
+
+    #[test]
+    fn last_delivery() {
+        assert_eq!(tiny_log().last_delivery(), SimTime::from_ps(400));
+        assert_eq!(TraceLog::default().last_delivery(), SimTime::ZERO);
+    }
+}

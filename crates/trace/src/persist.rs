@@ -1,0 +1,281 @@
+//! Trace (de)serialisation.
+//!
+//! Captures are expensive relative to replays, so they are worth
+//! keeping: a saved trace can be replayed against any number of target
+//! networks (or shared with another machine) without re-running the
+//! full-system simulation. The format is a self-describing CSV — one
+//! header line with run metadata, one line per message — chosen over a
+//! binary format so traces stay inspectable with standard tools.
+
+use crate::log::{TraceLog, TraceRecord};
+use sctm_engine::net::{Message, MsgClass, MsgId, NodeId};
+use sctm_engine::time::SimTime;
+use std::io::{BufWriter, Write};
+use std::path::Path;
+
+const MAGIC: &str = "sctm-trace-v1";
+
+impl TraceLog {
+    /// Serialise to the CSV trace format.
+    pub fn to_csv_string(&self) -> String {
+        let mut out = String::with_capacity(self.records.len() * 64);
+        out.push_str(&format!(
+            "{MAGIC},{},{}\n",
+            self.capture_net,
+            self.capture_exec_time.as_ps()
+        ));
+        out.push_str("id,src,dst,class,bytes,t_inject_ps,t_deliver_ps,prev,deps,kind\n");
+        for r in &self.records {
+            let class = match r.msg.class {
+                MsgClass::Control => "C",
+                MsgClass::Data => "D",
+            };
+            let prev = r
+                .prev_same_src
+                .map(|p| p.0.to_string())
+                .unwrap_or_default();
+            let deps = r
+                .deps
+                .iter()
+                .map(|d| d.0.to_string())
+                .collect::<Vec<_>>()
+                .join(";");
+            out.push_str(&format!(
+                "{},{},{},{},{},{},{},{},{},{}\n",
+                r.msg.id.0,
+                r.msg.src.0,
+                r.msg.dst.0,
+                class,
+                r.msg.bytes,
+                r.t_inject.as_ps(),
+                r.t_deliver.as_ps(),
+                prev,
+                deps,
+                r.kind,
+            ));
+        }
+        out
+    }
+
+    /// Parse the CSV trace format.
+    pub fn from_csv_str(s: &str) -> Result<TraceLog, String> {
+        let mut lines = s.lines();
+        let meta = lines.next().ok_or("empty trace file")?;
+        let mut mp = meta.split(',');
+        if mp.next() != Some(MAGIC) {
+            return Err(format!("not a {MAGIC} file"));
+        }
+        let capture_net: &str = mp.next().ok_or("missing capture net")?;
+        let capture_net: &'static str = match capture_net {
+            "analytic" => "analytic",
+            "emesh" => "emesh",
+            "omesh" => "omesh",
+            "oxbar" => "oxbar",
+            "hybrid" => "hybrid",
+            _ => "unknown",
+        };
+        let exec_ps: u64 = mp
+            .next()
+            .ok_or("missing exec time")?
+            .parse()
+            .map_err(|e| format!("bad exec time: {e}"))?;
+        let header = lines.next().ok_or("missing header line")?;
+        if !header.starts_with("id,") {
+            return Err("missing column header".into());
+        }
+        let mut records = Vec::new();
+        for (ln, line) in lines.enumerate() {
+            if line.is_empty() {
+                continue;
+            }
+            let f: Vec<&str> = line.split(',').collect();
+            if f.len() != 10 {
+                return Err(format!("line {}: expected 10 fields, got {}", ln + 3, f.len()));
+            }
+            let parse_u64 = |s: &str, what: &str| -> Result<u64, String> {
+                s.parse().map_err(|e| format!("line {}: bad {what}: {e}", ln + 3))
+            };
+            let class = match f[3] {
+                "C" => MsgClass::Control,
+                "D" => MsgClass::Data,
+                other => return Err(format!("line {}: bad class {other}", ln + 3)),
+            };
+            let prev = if f[7].is_empty() {
+                None
+            } else {
+                Some(MsgId(parse_u64(f[7], "prev")?))
+            };
+            let deps = if f[8].is_empty() {
+                Vec::new()
+            } else {
+                f[8].split(';')
+                    .map(|d| parse_u64(d, "dep").map(MsgId))
+                    .collect::<Result<Vec<_>, _>>()?
+            };
+            // `kind` is diagnostic only; intern the common ones.
+            let kind: &'static str = match f[9] {
+                "GetS" => "GetS",
+                "GetX" => "GetX",
+                "Data" => "Data",
+                "UpgAck" => "UpgAck",
+                "Fetch" => "Fetch",
+                "FetchMiss" => "FetchMiss",
+                "Inv" => "Inv",
+                "InvAck" => "InvAck",
+                "WbData" => "WbData",
+                "MemReq" => "MemReq",
+                "MemResp" => "MemResp",
+                "WbMem" => "WbMem",
+                "BarArrive" => "BarArrive",
+                "BarRelease" => "BarRelease",
+                _ => "other",
+            };
+            records.push(TraceRecord {
+                msg: Message {
+                    id: MsgId(parse_u64(f[0], "id")?),
+                    src: NodeId(parse_u64(f[1], "src")? as u32),
+                    dst: NodeId(parse_u64(f[2], "dst")? as u32),
+                    class,
+                    bytes: parse_u64(f[4], "bytes")? as u32,
+                },
+                t_inject: SimTime::from_ps(parse_u64(f[5], "t_inject")?),
+                t_deliver: SimTime::from_ps(parse_u64(f[6], "t_deliver")?),
+                deps,
+                prev_same_src: prev,
+                kind,
+            });
+        }
+        let log = TraceLog {
+            records,
+            capture_net,
+            capture_exec_time: SimTime::from_ps(exec_ps),
+        };
+        log.validate()?;
+        Ok(log)
+    }
+
+    /// Write to a file.
+    pub fn save(&self, path: impl AsRef<Path>) -> std::io::Result<()> {
+        let f = std::fs::File::create(path)?;
+        let mut w = BufWriter::new(f);
+        w.write_all(self.to_csv_string().as_bytes())?;
+        w.flush()
+    }
+
+    /// Read from a file.
+    pub fn load(path: impl AsRef<Path>) -> Result<TraceLog, String> {
+        let s = std::fs::read_to_string(path).map_err(|e| e.to_string())?;
+        Self::from_csv_str(&s)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::log::Capture;
+    use sctm_cmp::protocol::{InjectRecord, TraceHook};
+
+    fn tiny() -> TraceLog {
+        let mut cap = Capture::new();
+        let mk = |id: u64, src: u32, dst: u32, class: MsgClass| Message {
+            id: MsgId(id),
+            src: NodeId(src),
+            dst: NodeId(dst),
+            class,
+            bytes: if class == MsgClass::Data { 72 } else { 8 },
+        };
+        cap.on_inject(InjectRecord {
+            msg: mk(0, 0, 3, MsgClass::Control),
+            at: SimTime::from_ps(100),
+            deps: vec![],
+            prev_same_src: None,
+            kind: "GetS",
+        });
+        cap.on_deliver(MsgId(0), SimTime::from_ps(900));
+        cap.on_inject(InjectRecord {
+            msg: mk(1, 3, 0, MsgClass::Data),
+            at: SimTime::from_ps(1100),
+            deps: vec![MsgId(0)],
+            prev_same_src: None,
+            kind: "Data",
+        });
+        cap.on_deliver(MsgId(1), SimTime::from_ps(2400));
+        cap.finish("analytic", SimTime::from_ps(3000))
+    }
+
+    #[test]
+    fn roundtrip_preserves_everything() {
+        let log = tiny();
+        let csv = log.to_csv_string();
+        let back = TraceLog::from_csv_str(&csv).unwrap();
+        assert_eq!(back.len(), log.len());
+        assert_eq!(back.capture_net, "analytic");
+        assert_eq!(back.capture_exec_time, log.capture_exec_time);
+        for (a, b) in log.records.iter().zip(&back.records) {
+            assert_eq!(a.msg.id, b.msg.id);
+            assert_eq!(a.msg.src, b.msg.src);
+            assert_eq!(a.msg.dst, b.msg.dst);
+            assert_eq!(a.msg.class, b.msg.class);
+            assert_eq!(a.msg.bytes, b.msg.bytes);
+            assert_eq!(a.t_inject, b.t_inject);
+            assert_eq!(a.t_deliver, b.t_deliver);
+            assert_eq!(a.deps, b.deps);
+            assert_eq!(a.prev_same_src, b.prev_same_src);
+            assert_eq!(a.kind, b.kind);
+        }
+    }
+
+    #[test]
+    fn file_roundtrip() {
+        let log = tiny();
+        let path = std::env::temp_dir().join("sctm_trace_roundtrip_test.csv");
+        log.save(&path).unwrap();
+        let back = TraceLog::load(&path).unwrap();
+        assert_eq!(back.len(), log.len());
+        let _ = std::fs::remove_file(path);
+    }
+
+    #[test]
+    fn rejects_garbage() {
+        assert!(TraceLog::from_csv_str("").is_err());
+        assert!(TraceLog::from_csv_str("nonsense,analytic,5\nid,...\n").is_err());
+        // wrong field count
+        let bad = format!("{MAGIC},analytic,5\nid,src,dst,class,bytes,t_inject_ps,t_deliver_ps,prev,deps,kind\n1,2,3\n");
+        assert!(TraceLog::from_csv_str(&bad).is_err());
+        // causality violation rejected by validate()
+        let bad = format!(
+            "{MAGIC},analytic,5000\nid,src,dst,class,bytes,t_inject_ps,t_deliver_ps,prev,deps,kind\n0,0,1,C,8,100,50,,,GetS\n"
+        );
+        assert!(TraceLog::from_csv_str(&bad).is_err());
+    }
+
+    #[test]
+    fn real_capture_roundtrips_and_replays_identically() {
+        use crate::replay::replay_sctm_pass;
+        use sctm_cmp::{CmpConfig, CmpSim};
+        use sctm_engine::net::AnalyticNetwork;
+        use sctm_workloads::{build, Kernel, WorkloadParams};
+
+        let w = build(Kernel::Lu, WorkloadParams::new(16, 200, 5));
+        let net = AnalyticNetwork::new(16, SimTime::from_ns(8), SimTime::from_ns(2), 40);
+        let mut sim = CmpSim::new(CmpConfig::tiled(4), Box::new(net), Box::new(w));
+        let mut cap = Capture::new();
+        let res = sim.run(&mut cap);
+        let log = cap.finish("analytic", res.exec_time);
+
+        let back = TraceLog::from_csv_str(&log.to_csv_string()).unwrap();
+        let mk = || {
+            Box::new(AnalyticNetwork::new(
+                16,
+                SimTime::from_ns(8),
+                SimTime::from_ns(6),
+                40,
+            ))
+        };
+        let mut n1 = mk();
+        let mut n2 = mk();
+        let r1 = replay_sctm_pass(&log, n1.as_mut());
+        let r2 = replay_sctm_pass(&back, n2.as_mut());
+        assert_eq!(r1.deliver, r2.deliver, "roundtripped trace replays differently");
+    }
+}

@@ -1,0 +1,590 @@
+//! Trace replay engines.
+//!
+//! Three engines, using strictly increasing amounts of trace knowledge:
+//!
+//! 1. [`replay_fixed`] — the **classic trace model** (the strawman the
+//!    paper improves on): inject every message at its capture
+//!    timestamp. The timing feedback loop is lost: if the target
+//!    network is slower or faster than the capture network, dependent
+//!    messages are injected at the wrong times and error compounds.
+//! 2. [`replay_sctm_pass`] — the **paper's self-correction trace
+//!    model**: knowledge is per-endpoint program order plus the
+//!    arrival-gating pairing computable from a plain network trace
+//!    ([`TraceLog::arrival_gates`]). Injections are derived from the
+//!    replay's *own* delivery times (the timeline corrects itself
+//!    forward in time); the outer loop in `sctm-core` additionally
+//!    corrects the capture model and re-captures until the estimate
+//!    stabilises.
+//! 3. [`replay_oracle`] — full-causality single-pass replay using the
+//!    exact dependency DAG (which our capture can see because it lives
+//!    inside the simulator). This is the accuracy ceiling of any
+//!    trace-driven method and quantifies how much the gating heuristic
+//!    costs.
+
+use crate::log::TraceLog;
+use sctm_engine::net::{MsgClass, MsgId, NetworkModel};
+use sctm_engine::stats::Running;
+use sctm_engine::time::SimTime;
+use std::collections::BinaryHeap;
+
+/// Outcome of one replay pass.
+#[derive(Clone, Debug)]
+pub struct ReplayResult {
+    /// Injection time per message (dense id order).
+    pub inject: Vec<SimTime>,
+    /// Delivery time per message.
+    pub deliver: Vec<SimTime>,
+    /// Execution-time estimate: last delivery plus the capture run's
+    /// local tail (compute after the final message).
+    pub est_exec_time: SimTime,
+}
+
+impl ReplayResult {
+    fn from_times(log: &TraceLog, inject: Vec<SimTime>, deliver: Vec<SimTime>) -> Self {
+        let tail = log
+            .capture_exec_time
+            .saturating_since(log.last_delivery());
+        let last = deliver.iter().copied().max().unwrap_or(SimTime::ZERO);
+        ReplayResult { inject, deliver, est_exec_time: last + tail }
+    }
+
+    /// Mean message latency in nanoseconds for one class (or all).
+    pub fn mean_latency_ns(&self, log: &TraceLog, class: Option<MsgClass>) -> f64 {
+        let mut acc = Running::new();
+        for (i, r) in log.records.iter().enumerate() {
+            if class.is_none() || class == Some(r.msg.class) {
+                acc.push(
+                    self.deliver[i]
+                        .saturating_since(self.inject[i])
+                        .as_ns_f64(),
+                );
+            }
+        }
+        acc.mean()
+    }
+}
+
+/// Run all messages through `net` at the given injection times.
+fn simulate(log: &TraceLog, net: &mut dyn NetworkModel, inject: &[SimTime]) -> Vec<SimTime> {
+    assert_eq!(inject.len(), log.len());
+    // Inject in time order so `inject`'s internal clamping never fires.
+    let mut order: Vec<usize> = (0..log.len()).collect();
+    order.sort_by_key(|&i| (inject[i], i));
+    for i in order {
+        net.inject(inject[i], log.records[i].msg);
+    }
+    let mut deliver = vec![SimTime::ZERO; log.len()];
+    let mut out = Vec::with_capacity(log.len());
+    net.drain(&mut out);
+    assert_eq!(out.len(), log.len(), "replay lost messages");
+    for d in out {
+        deliver[d.msg.id.0 as usize] = d.delivered_at;
+    }
+    deliver
+}
+
+/// Classic trace-driven replay: capture timestamps, verbatim.
+pub fn replay_fixed(log: &TraceLog, net: &mut dyn NetworkModel) -> ReplayResult {
+    let inject: Vec<SimTime> = log.records.iter().map(|r| r.t_inject).collect();
+    let deliver = simulate(log, net, &inject);
+    ReplayResult::from_times(log, inject, deliver)
+}
+
+/// Full-causality event-driven replay (accuracy ceiling).
+///
+/// Message *m* is injected `delta(m)` after the last of its dependencies
+/// delivers in the *replay* timeline, where `delta` is the capture-time
+/// local processing delay. Dependency-free messages keep their capture
+/// times (their timing is network-independent by construction).
+pub fn replay_oracle(log: &TraceLog, net: &mut dyn NetworkModel) -> ReplayResult {
+    let n = log.len();
+    // delta and reverse edges
+    let mut delta = vec![SimTime::ZERO; n];
+    let mut children: Vec<Vec<u32>> = vec![Vec::new(); n];
+    let mut remaining = vec![0u32; n];
+    for (i, r) in log.records.iter().enumerate() {
+        if r.deps.is_empty() {
+            delta[i] = r.t_inject;
+        } else {
+            let enable = r.deps.iter().map(|d| log.rec(*d).t_deliver).max().unwrap();
+            delta[i] = r.t_inject.saturating_since(enable);
+            remaining[i] = r.deps.len() as u32;
+            for d in &r.deps {
+                children[d.0 as usize].push(i as u32);
+            }
+        }
+    }
+    let mut inject = vec![SimTime::MAX; n];
+    let mut ready_at = vec![SimTime::ZERO; n]; // max dep delivery so far
+    // Pending injections we already know the time of, not yet injected.
+    let mut heap: BinaryHeap<std::cmp::Reverse<(SimTime, u32)>> = BinaryHeap::new();
+    for (i, r) in log.records.iter().enumerate() {
+        if r.deps.is_empty() {
+            heap.push(std::cmp::Reverse((delta[i], i as u32)));
+        }
+    }
+    let mut deliver = vec![SimTime::ZERO; n];
+    let mut delivered = 0usize;
+    let mut buf = Vec::new();
+    while delivered < n {
+        // Inject every pending message that is due at or before the
+        // network's next internal event (its network effects may precede
+        // that event); with an idle network, inject the earliest one to
+        // re-arm it.
+        while let Some(&std::cmp::Reverse((t, i))) = heap.peek() {
+            match net.next_time() {
+                Some(h) if t > h => break,
+                _ => {
+                    heap.pop();
+                    inject[i as usize] = t;
+                    net.inject(t, log.records[i as usize].msg);
+                }
+            }
+        }
+        let t = net
+            .next_time()
+            .expect("replay deadlocked: messages undelivered but nothing pending");
+        buf.clear();
+        net.advance_until(t, &mut buf);
+        for d in buf.drain(..) {
+            let id = d.msg.id.0 as usize;
+            deliver[id] = d.delivered_at;
+            delivered += 1;
+            for &c in &children[id] {
+                let c = c as usize;
+                ready_at[c] = ready_at[c].max(d.delivered_at);
+                remaining[c] -= 1;
+                if remaining[c] == 0 {
+                    heap.push(std::cmp::Reverse((ready_at[c] + delta[c], c as u32)));
+                }
+            }
+        }
+    }
+    ReplayResult::from_times(log, inject, deliver)
+}
+
+/// The self-correcting replay pass — how the SCTM injects a trace into
+/// a target network.
+///
+/// Event-driven: every departure is injected `delta` after its gating
+/// arrival delivers **in the replay timeline** (per-source capture order
+/// enforced), so the timeline corrects itself forward in time as the
+/// pass runs instead of replaying stale capture timestamps. `delta` and
+/// the gating pairing come from the capture timeline
+/// ([`TraceLog::arrival_gates`]).
+///
+/// One pass is self-consistent (injections are derived from this pass's
+/// own deliveries); residual error against execution-driven simulation
+/// comes from mis-paired gates, which the *outer* self-correction loop
+/// in `sctm-core` attacks by correcting the capture model itself and
+/// re-capturing.
+pub fn replay_sctm_pass(log: &TraceLog, net: &mut dyn NetworkModel) -> ReplayResult {
+    let gates = log.arrival_gates();
+    gated_pass(log, net, &gates, false)
+}
+
+/// Ablation variant of [`replay_sctm_pass`] that *enforces per-source
+/// capture order* on gated departures. Physically plausible-sounding,
+/// but measurably worse: when the target's latency profile reorders a
+/// node's traffic (hybrid control/data planes, token arbitration), the
+/// ordering constraint inflates the timeline. Kept for the ablation
+/// bench (A1).
+pub fn replay_sctm_pass_ordered(log: &TraceLog, net: &mut dyn NetworkModel) -> ReplayResult {
+    let gates = log.arrival_gates();
+    gated_pass(log, net, &gates, true)
+}
+
+/// The gated event-driven pass over an explicit gate assignment.
+fn gated_pass(
+    log: &TraceLog,
+    net: &mut dyn NetworkModel,
+    gates: &[Option<MsgId>],
+    enforce_source_order: bool,
+) -> ReplayResult {
+    let n = log.len();
+    let order = log.per_source_order();
+
+    // Per-source predecessors and capture injection gaps.
+    let mut prev_in_order: Vec<Option<u32>> = vec![None; n];
+    for seq in &order {
+        for w in seq.windows(2) {
+            prev_in_order[w[1].0 as usize] = Some(w[0].0 as u32);
+        }
+    }
+    // Capture-anchored deltas: local time between the gating delivery
+    // (or the previous departure, for gate-less messages) and this
+    // departure, measured on the capture timeline.
+    let mut delta = vec![SimTime::ZERO; n];
+    for (i, r) in log.records.iter().enumerate() {
+        let anchor = match gates[i] {
+            Some(g) => log.rec(g).t_deliver,
+            None => prev_in_order[i]
+                .map(|p| log.records[p as usize].t_inject)
+                .unwrap_or(SimTime::ZERO),
+        };
+        delta[i] = r.t_inject.saturating_since(anchor);
+    }
+
+    // Readiness: a message needs its gate delivered (if any) and its
+    // per-source predecessor injected (if any).
+    let mut gate_done = vec![false; n];
+    let mut gate_time = vec![SimTime::ZERO; n];
+    let mut prev_done = vec![false; n];
+    let mut prev_time = vec![SimTime::ZERO; n];
+    // Reverse index: gate -> dependants.
+    let mut gated_by: Vec<Vec<u32>> = vec![Vec::new(); n];
+    for (i, g) in gates.iter().enumerate() {
+        match g {
+            Some(g) => gated_by[g.0 as usize].push(i as u32),
+            None => {
+                gate_done[i] = true;
+            }
+        }
+    }
+    for (i, p) in prev_in_order.iter().enumerate() {
+        // Gated messages do not wait on their per-source predecessor:
+        // a node's departures may legitimately reorder when the target
+        // network's latency profile differs from capture (e.g. a hybrid
+        // optical design where control and data planes diverge), and
+        // forcing capture order inflates the timeline measurably.
+        if p.is_none() || (!enforce_source_order && !gate_done[i]) {
+            prev_done[i] = true;
+        }
+    }
+    // Successor in per-source order, to propagate injection readiness.
+    let mut next_in_order: Vec<Option<u32>> = vec![None; n];
+    for (i, p) in prev_in_order.iter().enumerate() {
+        if let Some(p) = *p {
+            next_in_order[p as usize] = Some(i as u32);
+        }
+    }
+
+    let mut inject = vec![SimTime::MAX; n];
+    let mut deliver = vec![SimTime::ZERO; n];
+    let mut scheduled = vec![false; n];
+    let mut heap: BinaryHeap<std::cmp::Reverse<(SimTime, u32)>> = BinaryHeap::new();
+
+    // Seed: messages with no gate and no predecessor.
+    let mut seed_ready: Vec<u32> = (0..n as u32)
+        .filter(|&i| gate_done[i as usize] && prev_done[i as usize])
+        .collect();
+    seed_ready.sort_unstable();
+    for i in seed_ready {
+        let t = delta[i as usize];
+        scheduled[i as usize] = true;
+        heap.push(std::cmp::Reverse((t, i)));
+    }
+
+    let mut delivered = 0usize;
+    let mut buf = Vec::new();
+    while delivered < n {
+        while let Some(&std::cmp::Reverse((t, i))) = heap.peek() {
+            match net.next_time() {
+                Some(h) if t > h => break,
+                _ => {
+                    heap.pop();
+                    let i = i as usize;
+                    inject[i] = t;
+                    net.inject(t, log.records[i].msg);
+                    // Unblock the per-source successor (only gate-less
+                    // successors wait on their predecessor).
+                    if let Some(nx) = next_in_order[i] {
+                        let nx = nx as usize;
+                        prev_done[nx] = true;
+                        prev_time[nx] = t;
+                        if gate_done[nx] && !scheduled[nx] {
+                            let base = if gates[nx].is_some() {
+                                gate_time[nx]
+                            } else {
+                                prev_time[nx]
+                            };
+                            let t = (base + delta[nx]).max(prev_time[nx]);
+                            scheduled[nx] = true;
+                            heap.push(std::cmp::Reverse((t, nx as u32)));
+                        }
+                    }
+                }
+            }
+        }
+        let t = net
+            .next_time()
+            .expect("gated replay deadlocked: undelivered messages but nothing pending");
+        buf.clear();
+        net.advance_until(t, &mut buf);
+        for d in buf.drain(..) {
+            let id = d.msg.id.0 as usize;
+            deliver[id] = d.delivered_at;
+            delivered += 1;
+            for &g in &gated_by[id] {
+                let g = g as usize;
+                gate_done[g] = true;
+                gate_time[g] = d.delivered_at;
+                if prev_done[g] && !scheduled[g] {
+                    let t = (gate_time[g] + delta[g]).max(prev_time[g]);
+                    scheduled[g] = true;
+                    heap.push(std::cmp::Reverse((t, g as u32)));
+                }
+            }
+        }
+    }
+    ReplayResult::from_times(log, inject, deliver)
+}
+
+/// Per-(src, dst, class) multiplicative correction factors derived from
+/// one replay: observed replay latency divided by the capture model's
+/// predicted base latency (`base_latency` is supplied by the caller —
+/// typically [`sctm_engine::net::AnalyticNetwork::base_latency`]).
+/// Control and data flows are corrected separately — hybrid optical
+/// designs route them through entirely different planes, so one shared
+/// factor would poison whichever class is in the minority.
+///
+/// These are what the outer self-correction loop feeds back into the
+/// capture model before re-capturing.
+pub fn pair_corrections(
+    log: &TraceLog,
+    result: &ReplayResult,
+    mut base_latency: impl FnMut(&sctm_engine::net::Message) -> SimTime,
+) -> Vec<((u32, u32, MsgClass), f64)> {
+    use std::collections::HashMap;
+    let mut acc: HashMap<(u32, u32, u8), (f64, f64)> = HashMap::new();
+    for (i, r) in log.records.iter().enumerate() {
+        let lat = result.deliver[i].saturating_since(result.inject[i]).as_ps() as f64;
+        let base = base_latency(&r.msg).as_ps() as f64;
+        let c = match r.msg.class {
+            MsgClass::Control => 0u8,
+            MsgClass::Data => 1,
+        };
+        let e = acc.entry((r.msg.src.0, r.msg.dst.0, c)).or_insert((0.0, 0.0));
+        e.0 += lat;
+        e.1 += base;
+    }
+    let mut out: Vec<((u32, u32, MsgClass), f64)> = acc
+        .into_iter()
+        .filter(|(_, (_, base))| *base > 0.0)
+        .map(|((s, d, c), (lat, base))| {
+            let class = if c == 0 { MsgClass::Control } else { MsgClass::Data };
+            ((s, d, class), lat / base)
+        })
+        .collect();
+    out.sort_by_key(|&((s, d, c), _)| (s, d, c == MsgClass::Data));
+    out
+}
+
+/// Estimate per-destination ejection serialisation from one replay, in
+/// picoseconds per byte.
+///
+/// Mean-latency pair corrections cannot express a *single-reader*
+/// bottleneck (an MWSR home channel serialises every writer; latency
+/// depends on load, not on the pair). The fastest sustained spacing of
+/// consecutive deliveries at a node reveals its service rate: we take
+/// the 25th percentile of per-byte delivery gaps and report it only
+/// when it shows genuine back-to-back operation (below
+/// `SATURATION_THRESHOLD_PS_PER_BYTE`), so uncongested destinations are
+/// left unserialised.
+pub fn dst_service_estimates(log: &TraceLog, result: &ReplayResult) -> Vec<(u32, u64)> {
+    const MIN_SAMPLES: usize = 48;
+    const SATURATION_THRESHOLD_PS_PER_BYTE: f64 = 60.0;
+    use std::collections::HashMap;
+    let mut per_dst: HashMap<u32, Vec<(SimTime, u32)>> = HashMap::new();
+    for (i, r) in log.records.iter().enumerate() {
+        per_dst
+            .entry(r.msg.dst.0)
+            .or_default()
+            .push((result.deliver[i], r.msg.bytes.max(1)));
+    }
+    let mut out = Vec::new();
+    for (dst, mut dl) in per_dst {
+        if dl.len() < MIN_SAMPLES {
+            continue;
+        }
+        dl.sort_unstable_by_key(|&(t, _)| t);
+        let mut gaps_per_byte: Vec<f64> = dl
+            .windows(2)
+            .filter_map(|w| {
+                let gap = w[1].0.saturating_since(w[0].0).as_ps();
+                if gap == 0 {
+                    None // simultaneous deliveries carry no rate signal
+                } else {
+                    Some(gap as f64 / w[1].1 as f64)
+                }
+            })
+            .collect();
+        if gaps_per_byte.len() < MIN_SAMPLES / 2 {
+            continue;
+        }
+        gaps_per_byte.sort_unstable_by(|a, b| a.partial_cmp(b).unwrap());
+        let p25 = gaps_per_byte[gaps_per_byte.len() / 4];
+        if p25 > 0.0 && p25 <= SATURATION_THRESHOLD_PS_PER_BYTE {
+            out.push((dst, p25.round() as u64));
+        }
+    }
+    out.sort_unstable();
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::log::Capture;
+    use sctm_cmp::{CmpConfig, CmpSim};
+    use sctm_engine::net::AnalyticNetwork;
+    use sctm_workloads::{build, Kernel, WorkloadParams};
+
+    fn analytic(nodes: usize, per_hop_ns: u64) -> Box<dyn NetworkModel> {
+        Box::new(AnalyticNetwork::new(
+            nodes,
+            SimTime::from_ns(8),
+            SimTime::from_ns(per_hop_ns),
+            10,
+        ))
+    }
+
+    /// Capture an fft trace on a fast analytic network.
+    fn capture_fft(cores: usize) -> TraceLog {
+        let side = (cores as f64).sqrt() as usize;
+        let w = build(Kernel::Fft, WorkloadParams::new(cores, 300, 7));
+        let cfg = CmpConfig::tiled(side);
+        let mut sim = CmpSim::new(cfg, analytic(cores, 2), Box::new(w));
+        let mut cap = Capture::new();
+        let res = sim.run(&mut cap);
+        cap.finish("analytic", res.exec_time)
+    }
+
+    #[test]
+    fn captured_log_is_wellformed() {
+        let log = capture_fft(16);
+        assert!(log.len() > 100, "only {} messages", log.len());
+        assert_eq!(log.validate(), Ok(()));
+    }
+
+    #[test]
+    fn fixed_replay_on_capture_network_reproduces_capture() {
+        let log = capture_fft(16);
+        let mut net = analytic(16, 2);
+        let r = replay_fixed(&log, net.as_mut());
+        // Same network, same injection times → identical deliveries
+        // (the analytic network is contention-free).
+        for (i, rec) in log.records.iter().enumerate() {
+            assert_eq!(r.deliver[i], rec.t_deliver, "msg {i} diverged");
+        }
+        assert_eq!(r.est_exec_time, log.capture_exec_time);
+    }
+
+    #[test]
+    fn oracle_replay_on_capture_network_reproduces_capture() {
+        let log = capture_fft(16);
+        let mut net = analytic(16, 2);
+        let r = replay_oracle(&log, net.as_mut());
+        for (i, rec) in log.records.iter().enumerate() {
+            assert_eq!(
+                r.deliver[i], rec.t_deliver,
+                "msg {i} ({}) diverged: {:?} vs {:?}",
+                rec.kind, r.deliver[i], rec.t_deliver
+            );
+        }
+    }
+
+    #[test]
+    fn sctm_pass_on_capture_network_reproduces_capture() {
+        // On the network the trace was captured on, the gated pass must
+        // reconstruct the capture timeline exactly (gates and deltas are
+        // self-consistent there).
+        let log = capture_fft(16);
+        let mut net = analytic(16, 2);
+        let got = replay_sctm_pass(&log, net.as_mut());
+        for (i, rec) in log.records.iter().enumerate() {
+            assert_eq!(
+                got.deliver[i], rec.t_deliver,
+                "msg {i} ({}) diverged",
+                rec.kind
+            );
+        }
+    }
+
+    #[test]
+    fn oracle_tracks_slower_target_network() {
+        // Replaying on a 3x slower network must stretch the timeline;
+        // the oracle estimate should match an actual execution-driven
+        // run on that network closely.
+        let log = capture_fft(16);
+        let mut net = analytic(16, 6);
+        let r = replay_oracle(&log, net.as_mut());
+
+        // Reference: execution-driven on the slow network.
+        let w = build(Kernel::Fft, WorkloadParams::new(16, 300, 7));
+        let mut sim = CmpSim::new(CmpConfig::tiled(4), analytic(16, 6), Box::new(w));
+        let reference = sim.run(&mut sctm_cmp::NullHook);
+
+        let err = (r.est_exec_time.as_ps() as f64 - reference.exec_time.as_ps() as f64).abs()
+            / reference.exec_time.as_ps() as f64;
+        assert!(
+            err < 0.02,
+            "oracle exec-time error {:.1}% (est {}, ref {})",
+            err * 100.0,
+            r.est_exec_time,
+            reference.exec_time
+        );
+    }
+
+    #[test]
+    fn sctm_pass_beats_classic_on_slower_target() {
+        let log = capture_fft(16);
+        // Target: 3x slower per-hop latency than capture.
+        let w = build(Kernel::Fft, WorkloadParams::new(16, 300, 7));
+        let mut sim = CmpSim::new(CmpConfig::tiled(4), analytic(16, 6), Box::new(w));
+        let reference = sim.run(&mut sctm_cmp::NullHook).exec_time.as_ps() as f64;
+
+        let mut net = analytic(16, 6);
+        let classic = replay_fixed(&log, net.as_mut()).est_exec_time.as_ps() as f64;
+        let mut net = analytic(16, 6);
+        let sctm = replay_sctm_pass(&log, net.as_mut()).est_exec_time.as_ps() as f64;
+
+        let err_classic = (classic - reference).abs() / reference;
+        let err_sctm = (sctm - reference).abs() / reference;
+        assert!(
+            err_sctm < err_classic,
+            "self-correction ({:.1}%) did not beat classic ({:.1}%)",
+            err_sctm * 100.0,
+            err_classic * 100.0
+        );
+        assert!(
+            err_sctm < 0.10,
+            "self-correction error too large: {:.1}%",
+            err_sctm * 100.0
+        );
+    }
+
+    #[test]
+    fn pair_corrections_detect_slowdown() {
+        let log = capture_fft(16);
+        // Replay on a 3x-per-hop target and derive corrections against
+        // the capture model's base latency.
+        let capture_model = sctm_engine::net::AnalyticNetwork::new(
+            16,
+            SimTime::from_ns(8),
+            SimTime::from_ns(2),
+            10,
+        );
+        let mut net = analytic(16, 6);
+        let r = replay_sctm_pass(&log, net.as_mut());
+        let corr = pair_corrections(&log, &r, |m| capture_model.base_latency(m));
+        assert!(!corr.is_empty());
+        let mean: f64 = corr.iter().map(|(_, f)| f).sum::<f64>() / corr.len() as f64;
+        assert!(
+            mean > 1.2,
+            "slower target should push correction factors above 1: mean={mean:.2}"
+        );
+        // All factors positive and finite.
+        assert!(corr.iter().all(|(_, f)| f.is_finite() && *f > 0.0));
+    }
+
+    #[test]
+    fn replay_injects_every_message_exactly_once() {
+        let log = capture_fft(16);
+        let mut net = analytic(16, 3);
+        let r = replay_oracle(&log, net.as_mut());
+        assert_eq!(r.inject.len(), log.len());
+        assert!(r.inject.iter().all(|t| *t != SimTime::MAX));
+        assert!(r.deliver.iter().zip(&r.inject).all(|(d, i)| d >= i));
+    }
+}

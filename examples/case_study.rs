@@ -1,0 +1,65 @@
+//! The paper's case study (experiment E2): one real application on the
+//! ONoC, simulated execution-driven and with the self-correction trace
+//! model, compared against the baseline electrical NoC simulator.
+//!
+//! ```text
+//! cargo run --release --example case_study             # 16 cores
+//! cargo run --release --example case_study -- 8 1200   # 64 cores, longer run
+//! ```
+
+use sctm::engine::table::{fnum, Table};
+use sctm::workloads::Kernel;
+use sctm::{accuracy, Experiment, Mode, NetworkKind, SystemConfig};
+
+fn main() {
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    let side: usize = args.first().and_then(|s| s.parse().ok()).unwrap_or(4);
+    let ops: usize = args.get(1).and_then(|s| s.parse().ok()).unwrap_or(600);
+    let kernel = Kernel::Fft;
+
+    let omesh = Experiment::new(SystemConfig::new(side, NetworkKind::Omesh), kernel).with_ops(ops);
+    let emesh = Experiment::new(SystemConfig::new(side, NetworkKind::Emesh), kernel).with_ops(ops);
+
+    eprintln!("running the execution-driven ONoC reference...");
+    let reference = omesh.run(Mode::ExecutionDriven);
+    eprintln!("running the self-correction trace model...");
+    let sctm = omesh.run(Mode::SelfCorrection { max_iters: 4 });
+    eprintln!("running the classic trace model...");
+    let classic = omesh.run(Mode::ClassicTrace);
+    eprintln!("running the baseline electrical NoC simulator...");
+    let baseline = emesh.run(Mode::ExecutionDriven);
+
+    let mut t = Table::new(
+        format!("Case study: {} on {} cores", kernel.label(), side * side),
+        &["simulator", "network", "exec time", "data lat (ns)", "exec err %", "wall (ms)"],
+    );
+    for (name, r) in [
+        ("execution-driven ONoC (reference)", &reference),
+        ("self-correction trace model", &sctm),
+        ("classic trace model", &classic),
+        ("baseline NoC simulator", &baseline),
+    ] {
+        let err = if r.network == reference.network {
+            fnum(accuracy(r, &reference).exec_time_err_pct)
+        } else {
+            "-".into()
+        };
+        t.row(&[
+            name.to_string(),
+            r.network.to_string(),
+            r.exec_time.to_string(),
+            fnum(r.mean_lat_data_ns),
+            err,
+            fnum(r.wall.as_secs_f64() * 1e3),
+        ]);
+    }
+    println!("{}", t.render());
+
+    let acc = accuracy(&sctm, &reference);
+    println!(
+        "headline: SCTM reproduces the execution-driven ONoC result within {:.1}% \
+         at {:.2}x the wall time of the baseline electrical simulator.",
+        acc.exec_time_err_pct,
+        sctm.wall.as_secs_f64() / baseline.wall.as_secs_f64()
+    );
+}

@@ -1,0 +1,59 @@
+//! Using the simulator the way an architect would: sweep every
+//! interconnect across all application kernels (execution-driven) and
+//! print performance plus the optical power bill.
+//!
+//! ```text
+//! cargo run --release --example design_sweep
+//! ```
+
+use sctm::engine::table::{fnum, Table};
+use sctm::onoc::{ObusConfig, OmeshConfig, OxbarConfig};
+use sctm::workloads::Kernel;
+use sctm::{Experiment, Mode, NetworkKind, SystemConfig};
+
+fn main() {
+    let side = 4;
+    let ops = 400;
+
+    let mut perf = Table::new(
+        format!("Execution time by interconnect ({} cores)", side * side),
+        &["application", "emesh", "omesh", "oxbar", "hybrid", "obus", "best"],
+    );
+    for kernel in Kernel::ALL {
+        let mut cells = vec![kernel.label().to_string()];
+        let mut best = ("", f64::INFINITY);
+        for kind in NetworkKind::DETAILED {
+            let r = Experiment::new(SystemConfig::new(side, kind), kernel)
+                .with_ops(ops)
+                .run(Mode::ExecutionDriven);
+            let us = r.exec_time.as_us_f64();
+            if us < best.1 {
+                best = (kind.label(), us);
+            }
+            cells.push(format!("{us:.2}us"));
+        }
+        cells.push(best.0.to_string());
+        perf.row(&cells);
+    }
+    println!("{}", perf.render());
+
+    // The other axis of the trade-off: static optical power.
+    let mut power = Table::new(
+        "Optical power at 10% utilisation",
+        &["architecture", "worst loss (dB)", "total power (mW)", "pJ/bit"],
+    );
+    for (name, budget) in [
+        ("photonic mesh", OmeshConfig::new(side).budget()),
+        ("MWSR crossbar", OxbarConfig::new(side).budget()),
+        ("SWMR broadcast bus", ObusConfig::new(side).budget()),
+    ] {
+        let p = budget.power(0.1);
+        power.row(&[
+            name.to_string(),
+            fnum(budget.worst_loss_db()),
+            fnum(p.total_mw()),
+            fnum(p.pj_per_bit(budget.peak_gbps() * 0.1)),
+        ]);
+    }
+    println!("{}", power.render());
+}

@@ -1,0 +1,52 @@
+//! Quickstart: simulate one application on an optical NoC three ways
+//! and see why the self-correction trace model exists.
+//!
+//! ```text
+//! cargo run --release --example quickstart
+//! ```
+
+use sctm::{accuracy, Experiment, Mode, NetworkKind, SystemConfig};
+use sctm::workloads::Kernel;
+
+fn main() {
+    // A 16-core tiled CMP whose interconnect is the circuit-switched
+    // photonic mesh (swap for NetworkKind::Oxbar or Emesh freely).
+    let system = SystemConfig::new(4, NetworkKind::Omesh);
+    println!("{}", system.config_table().render());
+
+    let exp = Experiment::new(system, Kernel::Fft).with_ops(600);
+
+    // 1. The accurate-but-slow reference: full co-simulation of cores,
+    //    caches, coherence and the photonic network.
+    let reference = exp.run(Mode::ExecutionDriven);
+    println!(
+        "execution-driven: exec={}  data-lat={:.1}ns  wall={:?}",
+        reference.exec_time, reference.mean_lat_data_ns, reference.wall
+    );
+
+    // 2. The classic trace model: capture once on a cheap model, replay
+    //    timestamps verbatim. Fast, but the timing feedback loop is
+    //    gone and the estimate drifts.
+    let classic = exp.run(Mode::ClassicTrace);
+    let acc = accuracy(&classic, &reference);
+    println!(
+        "classic trace:    exec={}  err={:.1}%  wall={:?}",
+        classic.exec_time, acc.exec_time_err_pct, classic.wall
+    );
+
+    // 3. The paper's self-correction trace model: the replay corrects
+    //    the timeline against the detailed network, and the capture
+    //    model corrects itself between iterations.
+    let sctm = exp.run(Mode::SelfCorrection { max_iters: 4 });
+    let acc = accuracy(&sctm, &reference);
+    println!(
+        "self-correction:  exec={}  err={:.1}%  wall={:?}",
+        sctm.exec_time, acc.exec_time_err_pct, sctm.wall
+    );
+    for it in sctm.iterations.as_deref().unwrap_or_default() {
+        println!(
+            "   iteration {}: estimate={}  drift={}",
+            it.iteration, it.est_exec_time, it.drift
+        );
+    }
+}

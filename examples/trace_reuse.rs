@@ -1,0 +1,56 @@
+//! Trace persistence: capture once, save to disk, reload, and replay
+//! the same trace against several target networks — the workflow the
+//! trace model exists for (the capture is the expensive part).
+//!
+//! ```text
+//! cargo run --release --example trace_reuse
+//! ```
+
+use sctm::engine::table::{fnum, Table};
+use sctm::trace::{replay_sctm_pass, TraceLog};
+use sctm::workloads::Kernel;
+use sctm::{Experiment, NetworkKind, SystemConfig};
+
+fn main() {
+    let exp = Experiment::new(SystemConfig::new(4, NetworkKind::Omesh), Kernel::Barnes)
+        .with_ops(500);
+
+    // 1. One full-system capture on the analytic model...
+    eprintln!("capturing...");
+    let t0 = std::time::Instant::now();
+    let log = exp.capture();
+    eprintln!(
+        "captured {} messages in {:?} (exec time {})",
+        log.len(),
+        t0.elapsed(),
+        log.capture_exec_time
+    );
+
+    // 2. ...saved as a self-describing CSV...
+    let path = std::env::temp_dir().join("sctm_barnes_16c.trace.csv");
+    log.save(&path).expect("save trace");
+    let bytes = std::fs::metadata(&path).map(|m| m.len()).unwrap_or(0);
+    eprintln!("saved to {} ({:.1} MiB)", path.display(), bytes as f64 / (1 << 20) as f64);
+
+    // 3. ...reloaded (possibly by another process, days later)...
+    let log = TraceLog::load(&path).expect("load trace");
+
+    // 4. ...and replayed against every detailed interconnect.
+    let mut t = Table::new(
+        "One capture, five targets (self-correcting replay)",
+        &["target", "est exec time", "mean data lat (ns)", "replay wall (ms)"],
+    );
+    for kind in NetworkKind::DETAILED {
+        let t0 = std::time::Instant::now();
+        let mut net = SystemConfig::make_network_kind(4, kind);
+        let r = replay_sctm_pass(&log, net.as_mut());
+        t.row(&[
+            kind.label().to_string(),
+            r.est_exec_time.to_string(),
+            fnum(r.mean_latency_ns(&log, Some(sctm::engine::net::MsgClass::Data))),
+            fnum(t0.elapsed().as_secs_f64() * 1e3),
+        ]);
+    }
+    println!("{}", t.render());
+    let _ = std::fs::remove_file(path);
+}

@@ -1,0 +1,18 @@
+//! # sctm — Self-Correction Trace Model
+//!
+//! Umbrella crate for the SCTM workspace: a full-system simulator for
+//! Optical Network-on-Chip, reproducing Zhang, He & Fan (IPDPSW 2012).
+//! Everything re-exports from [`sctm_core`]; see that crate (and
+//! `README.md` / `DESIGN.md`) for the guided tour.
+//!
+//! ```no_run
+//! use sctm::{Experiment, Mode, NetworkKind, SystemConfig};
+//! use sctm::workloads::Kernel;
+//!
+//! let system = SystemConfig::new(8, NetworkKind::Omesh); // 64 cores
+//! let exp = Experiment::new(system, Kernel::Fft);
+//! let report = exp.run(Mode::SelfCorrection { max_iters: 4 });
+//! println!("estimated execution time: {}", report.exec_time);
+//! ```
+
+pub use sctm_core::*;

@@ -6,6 +6,8 @@ use sctm_engine::event::EventQueue;
 use sctm_engine::rng::StreamRng;
 use sctm_engine::stats::Histogram;
 use sctm_engine::time::SimTime;
+use sctm_engine::MsgTable;
+use std::collections::HashMap;
 
 fn bench_event_queue(c: &mut Criterion) {
     c.bench_function("event_queue/push_pop_1k", |b| {
@@ -48,9 +50,44 @@ fn bench_histogram(c: &mut Criterion) {
     });
 }
 
+fn bench_msg_store(c: &mut Criterion) {
+    // The network models' in-flight store access pattern: a sliding
+    // window of dense ids — insert, a few lookups, then retire.
+    const WINDOW: u64 = 64;
+    const IDS: u64 = 4096;
+    c.bench_function("msg_store/msgtable_window_4k", |b| {
+        b.iter(|| {
+            let mut t: MsgTable<[u64; 4]> = MsgTable::new();
+            let mut acc = 0u64;
+            for id in 0..IDS {
+                t.insert(id, [id; 4]);
+                acc = acc.wrapping_add(t.get(id / 2 + id % WINDOW).map_or(0, |v| v[0]));
+                if id >= WINDOW {
+                    t.remove(id - WINDOW);
+                }
+            }
+            black_box(acc)
+        })
+    });
+    c.bench_function("msg_store/hashmap_window_4k", |b| {
+        b.iter(|| {
+            let mut t: HashMap<u64, [u64; 4]> = HashMap::new();
+            let mut acc = 0u64;
+            for id in 0..IDS {
+                t.insert(id, [id; 4]);
+                acc = acc.wrapping_add(t.get(&(id / 2 + id % WINDOW)).map_or(0, |v| v[0]));
+                if id >= WINDOW {
+                    t.remove(&(id - WINDOW));
+                }
+            }
+            black_box(acc)
+        })
+    });
+}
+
 criterion_group! {
     name = benches;
     config = Criterion::default().sample_size(20);
-    targets = bench_event_queue, bench_rng, bench_histogram
+    targets = bench_event_queue, bench_rng, bench_histogram, bench_msg_store
 }
 criterion_main!(benches);

@@ -35,7 +35,9 @@ fn bench_modes(c: &mut Criterion) {
         b.iter(|| {
             black_box(
                 exp(NetworkKind::Omesh)
-                    .run(Mode::Online { epoch: SimTime::from_us(5) })
+                    .run(Mode::Online {
+                        epoch: SimTime::from_us(5),
+                    })
                     .exec_time,
             )
         })

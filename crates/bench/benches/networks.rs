@@ -25,7 +25,11 @@ fn traffic(n: usize, count: u64, seed: u64) -> Vec<(SimTime, Message)> {
                     id: MsgId(i),
                     src: NodeId(src),
                     dst: NodeId(dst),
-                    class: if data { MsgClass::Data } else { MsgClass::Control },
+                    class: if data {
+                        MsgClass::Data
+                    } else {
+                        MsgClass::Control
+                    },
                     bytes: if data { 72 } else { 8 },
                 },
             )
@@ -43,18 +47,22 @@ fn bench_networks(c: &mut Criterion) {
         NetworkKind::Omesh,
         NetworkKind::Emesh,
     ] {
-        g.bench_with_input(BenchmarkId::from_parameter(kind.label()), &kind, |b, &kind| {
-            b.iter(|| {
-                let mut net = bench_network(kind, side);
-                for &(t, m) in &msgs {
-                    net.inject(t, m);
-                }
-                let mut out = Vec::with_capacity(msgs.len());
-                net.drain(&mut out);
-                assert_eq!(out.len(), msgs.len());
-                black_box(out.len())
-            })
-        });
+        g.bench_with_input(
+            BenchmarkId::from_parameter(kind.label()),
+            &kind,
+            |b, &kind| {
+                b.iter(|| {
+                    let mut net = bench_network(kind, side);
+                    for &(t, m) in &msgs {
+                        net.inject(t, m);
+                    }
+                    let mut out = Vec::with_capacity(msgs.len());
+                    net.drain(&mut out);
+                    assert_eq!(out.len(), msgs.len());
+                    black_box(out.len())
+                })
+            },
+        );
     }
     g.finish();
 }

@@ -4,7 +4,10 @@
 
 use criterion::{black_box, criterion_group, criterion_main, BenchmarkId, Criterion};
 use sctm_core::{Experiment, NetworkKind, SystemConfig};
-use sctm_trace::{replay_fixed, replay_oracle, replay_sctm_pass, TraceLog};
+use sctm_trace::{
+    replay_fixed, replay_fixed_with, replay_oracle, replay_oracle_with, replay_sctm_pass,
+    replay_sctm_pass_with, ReplayScratch, TraceLog,
+};
 use sctm_workloads::Kernel;
 
 fn capture() -> TraceLog {
@@ -16,7 +19,8 @@ fn capture() -> TraceLog {
 fn bench_replay(c: &mut Criterion) {
     let log = capture();
     let mut g = c.benchmark_group("replay_on_omesh");
-    type Engine = fn(&TraceLog, &mut dyn sctm_engine::net::NetworkModel) -> sctm_trace::ReplayResult;
+    type Engine =
+        fn(&TraceLog, &mut dyn sctm_engine::net::NetworkModel) -> sctm_trace::ReplayResult;
     let engines: [(&str, Engine); 3] = [
         ("classic", replay_fixed as Engine),
         ("sctm_pass", replay_sctm_pass as Engine),
@@ -27,6 +31,28 @@ fn bench_replay(c: &mut Criterion) {
             b.iter(|| {
                 let mut net = SystemConfig::make_network_kind(4, NetworkKind::Omesh);
                 let r = engine(&log, net.as_mut());
+                black_box(r.est_exec_time)
+            })
+        });
+    }
+    // Arena variants: same engines borrowing one warm `ReplayScratch`
+    // across iterations — the shape of the outer self-correction loop.
+    type EngineWith = fn(
+        &TraceLog,
+        &mut dyn sctm_engine::net::NetworkModel,
+        &mut ReplayScratch,
+    ) -> sctm_trace::ReplayResult;
+    let arena_engines: [(&str, EngineWith); 3] = [
+        ("classic_arena", replay_fixed_with as EngineWith),
+        ("sctm_pass_arena", replay_sctm_pass_with as EngineWith),
+        ("oracle_arena", replay_oracle_with as EngineWith),
+    ];
+    for (name, engine) in arena_engines {
+        let mut scratch = ReplayScratch::new();
+        g.bench_with_input(BenchmarkId::from_parameter(name), &engine, |b, engine| {
+            b.iter(|| {
+                let mut net = SystemConfig::make_network_kind(4, NetworkKind::Omesh);
+                let r = engine(&log, net.as_mut(), &mut scratch);
                 black_box(r.est_exec_time)
             })
         });

@@ -40,7 +40,12 @@ pub fn e2_case_study(scale: Scale) -> Table {
         },
         {
             let e = omesh.clone();
-            Box::new(move || ("self-correction trace", e.run(Mode::SelfCorrection { max_iters: 4 })))
+            Box::new(move || {
+                (
+                    "self-correction trace",
+                    e.run(Mode::SelfCorrection { max_iters: 4 }),
+                )
+            })
         },
         {
             let e = omesh.clone();
@@ -56,12 +61,20 @@ pub fn e2_case_study(scale: Scale) -> Table {
             Box::new(move || {
                 let wall0 = std::time::Instant::now();
                 let log = e.capture();
-                ("oracle trace", e.run_with_trace(&log, Mode::OracleTrace, Some(wall0)))
+                (
+                    "oracle trace",
+                    e.run_with_trace(&log, Mode::OracleTrace, Some(wall0)),
+                )
             })
         },
         {
             let e = emesh;
-            Box::new(move || ("baseline NoC simulator (emesh)", e.run(Mode::ExecutionDriven)))
+            Box::new(move || {
+                (
+                    "baseline NoC simulator (emesh)",
+                    e.run(Mode::ExecutionDriven),
+                )
+            })
         },
     ]);
     let reference = results[0].1.clone();
@@ -72,8 +85,13 @@ pub fn e2_case_study(scale: Scale) -> Table {
             scale.side() * scale.side()
         ),
         &[
-            "simulator", "network", "exec time", "data lat (ns)", "exec err %",
-            "wall (ms)", "wall vs ref",
+            "simulator",
+            "network",
+            "exec time",
+            "data lat (ns)",
+            "exec err %",
+            "wall (ms)",
+            "wall vs ref",
         ],
     );
     for (name, r) in results.drain(..) {
@@ -124,7 +142,14 @@ pub fn e3_accuracy_per_application(scale: Scale) -> Table {
     let rows = par_map(jobs);
     let mut t = Table::new(
         "E3 — Execution-time error vs execution-driven reference (%)",
-        &["application", "network", "classic trace", "self-correction", "oracle", "sctm iters"],
+        &[
+            "application",
+            "network",
+            "classic trace",
+            "self-correction",
+            "oracle",
+            "sctm iters",
+        ],
     );
     for r in rows {
         t.row(&r);
@@ -136,7 +161,13 @@ pub fn e3_accuracy_per_application(scale: Scale) -> Table {
 pub fn e4_convergence(scale: Scale) -> Table {
     let mut t = Table::new(
         "E4 — Self-correction convergence (fft)",
-        &["network", "iteration", "est exec time", "drift", "err vs exec-driven %"],
+        &[
+            "network",
+            "iteration",
+            "est exec time",
+            "drift",
+            "err vs exec-driven %",
+        ],
     );
     let rows = par_map::<Vec<Vec<String>>, _>(
         [NetworkKind::Omesh, NetworkKind::Oxbar]
@@ -208,7 +239,11 @@ pub fn e5_simulation_time_scaling(scale: Scale) -> Table {
     let mut t = Table::new(
         "E5 — Simulation wall time vs core count and target network (fft, ms)",
         &[
-            "cores", "target", "exec-driven", "sctm loop", "classic trace",
+            "cores",
+            "target",
+            "exec-driven",
+            "sctm loop",
+            "classic trace",
             "sctm/exec ratio",
         ],
     );
@@ -260,7 +295,15 @@ pub fn e6_load_latency(scale: Scale) -> Table {
     let rows = par_map(jobs);
     let mut t = Table::new(
         format!("E6 — Load-latency, {side}x{side} networks (synthetic traffic)"),
-        &["network", "pattern", "rate (msg/node/cyc)", "avg lat (ns)", "p99 (ns)", "delivered", "throughput"],
+        &[
+            "network",
+            "pattern",
+            "rate (msg/node/cyc)",
+            "avg lat (ns)",
+            "p99 (ns)",
+            "delivered",
+            "throughput",
+        ],
     );
     for r in rows {
         t.row(&r);
@@ -275,10 +318,20 @@ pub fn e7_power_budget(scale: Scale) -> Table {
     let oxbar = OxbarConfig::new(side).budget();
     let util = 0.1;
     let mut t = Table::new(
-        format!("E7 — Optical power at {}-core scale (10% utilisation)", side * side),
+        format!(
+            "E7 — Optical power at {}-core scale (10% utilisation)",
+            side * side
+        ),
         &[
-            "architecture", "worst loss (dB)", "laser (mW)", "trim (mW)",
-            "modulate (mW)", "receive (mW)", "total (mW)", "pJ/bit", "peak Gb/s",
+            "architecture",
+            "worst loss (dB)",
+            "laser (mW)",
+            "trim (mW)",
+            "modulate (mW)",
+            "receive (mW)",
+            "total (mW)",
+            "pJ/bit",
+            "peak Gb/s",
         ],
     );
     let obus = ObusConfig::new(side).budget();
@@ -339,7 +392,11 @@ pub fn e8_capture_model_sensitivity(scale: Scale) -> Table {
     let rows = par_map(jobs);
     let mut t = Table::new(
         "E8 — Error vs capture-model fidelity (fft on photonic mesh, %)",
-        &["capture model speed error", "classic trace err %", "sctm single-pass err %"],
+        &[
+            "capture model speed error",
+            "classic trace err %",
+            "sctm single-pass err %",
+        ],
     );
     for r in rows {
         t.row(&r);
@@ -361,7 +418,9 @@ pub fn e9_online_correction(scale: Scale) -> Table {
         let e = e.clone();
         let reference = reference.clone();
         jobs.push(Box::new(move || {
-            let r = e.run(Mode::Online { epoch: SimTime::from_us(us) });
+            let r = e.run(Mode::Online {
+                epoch: SimTime::from_us(us),
+            });
             vec![
                 format!("online, {us} us epochs"),
                 fnum(accuracy(&r, &reference).exec_time_err_pct),
@@ -375,7 +434,11 @@ pub fn e9_online_correction(scale: Scale) -> Table {
         fnum(accuracy(&offline, &reference).exec_time_err_pct),
         ms(offline.wall),
     ]);
-    rows.push(vec!["exec-driven (reference)".into(), "0".into(), ms(reference.wall)]);
+    rows.push(vec![
+        "exec-driven (reference)".into(),
+        "0".into(),
+        ms(reference.wall),
+    ]);
     let mut t = Table::new(
         "E9 — Online epoch correction vs offline SCTM (fft on photonic mesh)",
         &["mode", "exec err %", "wall (ms)"],
@@ -424,8 +487,14 @@ pub fn e10_latency_distribution(scale: Scale) -> Table {
             side * side
         ),
         &[
-            "network", "ctrl p50 (ns)", "ctrl p99 (ns)", "data p50 (ns)", "data p99 (ns)",
-            "exec time", "fill wait", "barrier wait",
+            "network",
+            "ctrl p50 (ns)",
+            "ctrl p99 (ns)",
+            "data p50 (ns)",
+            "data p99 (ns)",
+            "exec time",
+            "fill wait",
+            "barrier wait",
         ],
     );
     for r in rows {
@@ -517,10 +586,34 @@ pub fn sctm_loop_with(e: &Experiment, opts: LoopOptions, iters: usize) -> SimTim
 pub fn a1_ablation(scale: Scale) -> Table {
     let variants: [(&str, LoopOptions); 5] = [
         ("full model", LoopOptions::FULL),
-        ("+ enforce source order", LoopOptions { ordered: true, ..LoopOptions::FULL }),
-        ("- class-aware corrections", LoopOptions { class_aware: false, ..LoopOptions::FULL }),
-        ("- damping", LoopOptions { damped: false, ..LoopOptions::FULL }),
-        ("+ service learning", LoopOptions { learn_service: true, ..LoopOptions::FULL }),
+        (
+            "+ enforce source order",
+            LoopOptions {
+                ordered: true,
+                ..LoopOptions::FULL
+            },
+        ),
+        (
+            "- class-aware corrections",
+            LoopOptions {
+                class_aware: false,
+                ..LoopOptions::FULL
+            },
+        ),
+        (
+            "- damping",
+            LoopOptions {
+                damped: false,
+                ..LoopOptions::FULL
+            },
+        ),
+        (
+            "+ service learning",
+            LoopOptions {
+                learn_service: true,
+                ..LoopOptions::FULL
+            },
+        ),
     ];
     let mut jobs: Vec<Box<dyn FnOnce() -> Vec<String> + Send>> = Vec::new();
     for kind in [NetworkKind::Omesh, NetworkKind::Oxbar] {
@@ -551,7 +644,10 @@ pub fn a1_ablation(scale: Scale) -> Table {
 
 /// Sanity helpers used by the shape tests.
 pub fn parse_pct(cell: &str) -> f64 {
-    cell.trim_end_matches('%').trim().parse().unwrap_or(f64::NAN)
+    cell.trim_end_matches('%')
+        .trim()
+        .parse()
+        .unwrap_or(f64::NAN)
 }
 
 /// Build a standalone network simulator for micro-benchmarks.
@@ -589,9 +685,8 @@ mod tests {
         let t = e7_power_budget(Scale::Quick);
         let csv = t.to_csv();
         let lines: Vec<&str> = csv.lines().collect();
-        let get = |line: &str, idx: usize| -> f64 {
-            line.split(',').nth(idx).unwrap().parse().unwrap()
-        };
+        let get =
+            |line: &str, idx: usize| -> f64 { line.split(',').nth(idx).unwrap().parse().unwrap() };
         let mesh_total = get(lines[1], 6);
         let xbar_total = get(lines[2], 6);
         assert!(xbar_total > mesh_total, "{xbar_total} !> {mesh_total}");
@@ -629,12 +724,10 @@ mod tests {
             .skip(1)
             .map(|l| l.split(',').map(|s| s.to_string()).collect())
             .collect();
-        let classic_at = |f: &str| -> f64 {
-            rows.iter().find(|r| r[0] == f).unwrap()[1].parse().unwrap()
-        };
-        let sctm_at = |f: &str| -> f64 {
-            rows.iter().find(|r| r[0] == f).unwrap()[2].parse().unwrap()
-        };
+        let classic_at =
+            |f: &str| -> f64 { rows.iter().find(|r| r[0] == f).unwrap()[1].parse().unwrap() };
+        let sctm_at =
+            |f: &str| -> f64 { rows.iter().find(|r| r[0] == f).unwrap()[2].parse().unwrap() };
         // A 4x-wrong capture model wrecks the classic trace…
         assert!(classic_at("4x") > 3.0 * classic_at("1x").max(1.0));
         // …while the self-correcting pass stays in single digits.

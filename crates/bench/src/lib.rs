@@ -42,27 +42,15 @@ impl Scale {
     }
 }
 
-/// Run `jobs` closures on worker threads (one per job, capped by the
-/// host) and return results in input order. Each job builds its own
-/// simulators, so determinism is preserved per cell.
-pub fn par_map<T: Send, F: FnOnce() -> T + Send>(jobs: Vec<F>) -> Vec<T> {
-    let mut out: Vec<Option<T>> = jobs.iter().map(|_| None).collect();
-    crossbeam::thread::scope(|s| {
-        let mut handles = Vec::new();
-        for (i, job) in jobs.into_iter().enumerate() {
-            handles.push((i, s.spawn(move |_| job())));
-        }
-        for (i, h) in handles {
-            out[i] = Some(h.join().expect("experiment worker panicked"));
-        }
-    })
-    .expect("scope failed");
-    out.into_iter().map(|x| x.unwrap()).collect()
-}
+/// Deterministic parallel sweep executor (pooled, work-queue based,
+/// results in input order — see `sctm_engine::par`). Re-exported here so
+/// experiments and external drivers share one implementation.
+pub use sctm_engine::par::{num_threads, par_map, serial_map};
 
 /// Experiment ids in report order.
-pub const EXPERIMENT_IDS: [&str; 11] =
-    ["e1", "e2", "e3", "e4", "e5", "e6", "e7", "e8", "e9", "e10", "a1"];
+pub const EXPERIMENT_IDS: [&str; 11] = [
+    "e1", "e2", "e3", "e4", "e5", "e6", "e7", "e8", "e9", "e10", "a1",
+];
 
 /// Run one experiment by id.
 pub fn run_experiment(id: &str, scale: Scale) -> Option<Table> {

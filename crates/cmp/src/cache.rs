@@ -33,7 +33,10 @@ impl CacheGeometry {
         let lines = bytes / LINE_BYTES as usize;
         assert!(lines >= ways, "capacity below one set");
         let sets = lines / ways;
-        assert!(sets.is_power_of_two(), "set count {sets} not a power of two");
+        assert!(
+            sets.is_power_of_two(),
+            "set count {sets} not a power of two"
+        );
         CacheGeometry { sets, ways }
     }
 
@@ -72,7 +75,12 @@ impl<M: Copy + Default> Cache<M> {
         Cache {
             geo,
             ways: vec![
-                Way { tag: 0, lru: 0, meta: M::default(), valid: false };
+                Way {
+                    tag: 0,
+                    lru: 0,
+                    meta: M::default(),
+                    valid: false
+                };
                 geo.sets * geo.ways
             ],
             tick: 0,
@@ -132,12 +140,25 @@ impl<M: Copy + Default> Cache<M> {
         let set = &mut self.ways[range];
         // Prefer an invalid way.
         if let Some(w) = set.iter_mut().find(|w| !w.valid) {
-            *w = Way { tag: line.0, lru: tick, meta, valid: true };
+            *w = Way {
+                tag: line.0,
+                lru: tick,
+                meta,
+                valid: true,
+            };
             return None;
         }
         let w = set.iter_mut().min_by_key(|w| w.lru).unwrap();
-        let victim = Victim { line: LineAddr(w.tag), meta: w.meta };
-        *w = Way { tag: line.0, lru: tick, meta, valid: true };
+        let victim = Victim {
+            line: LineAddr(w.tag),
+            meta: w.meta,
+        };
+        *w = Way {
+            tag: line.0,
+            lru: tick,
+            meta,
+            valid: true,
+        };
         Some(victim)
     }
 
@@ -266,7 +287,7 @@ mod tests {
         c.fill(a, 1);
         c.fill(b, 2);
         c.peek(a); // must NOT refresh a
-        // LRU order is still a then b.
+                   // LRU order is still a then b.
         let v = c.fill(x, 3).unwrap();
         assert_eq!(v.line, a);
     }
@@ -295,7 +316,11 @@ mod tests {
             if c.access(line).is_none() {
                 c.fill(line, 0u8);
             }
-            assert!(c.occupancy() <= 16, "occupancy {} > capacity", c.occupancy());
+            assert!(
+                c.occupancy() <= 16,
+                "occupancy {} > capacity",
+                c.occupancy()
+            );
         }
     }
 

@@ -19,5 +19,7 @@ pub mod protocol;
 pub mod sim;
 
 pub use cache::{Cache, CacheGeometry, LineAddr, LINE_BYTES};
-pub use protocol::{DirState, InjectRecord, NullHook, Op, ProtocolMsg, Sharers, TraceHook, Workload};
+pub use protocol::{
+    DirState, InjectRecord, NullHook, Op, ProtocolMsg, Sharers, TraceHook, Workload,
+};
 pub use sim::{CmpConfig, CmpResult, CmpSim};

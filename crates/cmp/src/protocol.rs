@@ -95,7 +95,11 @@ pub enum ProtocolMsg {
     /// Write/ownership request: core → home.
     GetX { line: LineAddr, requester: u16 },
     /// Cache-line fill: home → core.
-    Data { line: LineAddr, to: u16, grant_m: bool },
+    Data {
+        line: LineAddr,
+        to: u16,
+        grant_m: bool,
+    },
     /// Ownership ack without data (upgrade hit): home → core.
     UpgAck { line: LineAddr, to: u16 },
     /// Recall of a modified line: home → owner.
@@ -273,9 +277,18 @@ mod tests {
     #[test]
     fn data_class_split() {
         let l = LineAddr(1);
-        assert!(ProtocolMsg::Data { line: l, to: 0, grant_m: false }.is_data());
+        assert!(ProtocolMsg::Data {
+            line: l,
+            to: 0,
+            grant_m: false
+        }
+        .is_data());
         assert!(ProtocolMsg::WbData { line: l }.is_data());
-        assert!(!ProtocolMsg::GetS { line: l, requester: 0 }.is_data());
+        assert!(!ProtocolMsg::GetS {
+            line: l,
+            requester: 0
+        }
+        .is_data());
         assert!(!ProtocolMsg::InvAck { line: l }.is_data());
         assert!(!ProtocolMsg::BarArrive { id: 0, core: 0 }.is_data());
     }

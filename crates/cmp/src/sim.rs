@@ -31,10 +31,9 @@
 //!   comparable.
 
 use crate::cache::{Cache, CacheGeometry, LineAddr};
-use crate::protocol::{
-    DirState, InjectRecord, Op, ProtocolMsg, Sharers, TraceHook, Workload,
-};
+use crate::protocol::{DirState, InjectRecord, Op, ProtocolMsg, Sharers, TraceHook, Workload};
 use sctm_engine::event::EventQueue;
+use sctm_engine::msgtable::MsgTable;
 use sctm_engine::net::{Delivery, Message, MsgClass, MsgId, NetworkModel, NodeId};
 use sctm_engine::stats::Running;
 use sctm_engine::time::{Freq, SimTime};
@@ -142,6 +141,8 @@ struct CoreState {
     deferred: Vec<(MsgId, ProtocolMsg)>,
 }
 
+// Every transaction *is* a wait state; the shared prefix is the point.
+#[allow(clippy::enum_variant_names)]
 #[derive(Clone, Debug)]
 enum TxnKind {
     WaitMem,
@@ -207,7 +208,7 @@ pub struct CmpSim {
     last_unblock: HashMap<u64, MsgId>,
     mem_free: Vec<SimTime>,
     /// In-flight protocol payloads by message id.
-    in_flight: HashMap<u64, ProtocolMsg>,
+    in_flight: MsgTable<ProtocolMsg>,
     /// Line for which a Data/UpgAck grant is currently travelling to
     /// each core. The precise "my fill is in flight" predicate for
     /// external-request deferral: a queued request or a stale-sharer
@@ -227,7 +228,11 @@ impl CmpSim {
     pub fn new(cfg: CmpConfig, net: Box<dyn NetworkModel>, workload: Box<dyn Workload>) -> Self {
         let n = cfg.num_cores();
         assert_eq!(net.num_nodes(), n, "network size must match core count");
-        assert_eq!(workload.num_cores(), n, "workload size must match core count");
+        assert_eq!(
+            workload.num_cores(),
+            n,
+            "workload size must match core count"
+        );
         assert!(n <= crate::protocol::MAX_CORES);
         CmpSim {
             l1: (0..n).map(|_| Cache::new(cfg.l1)).collect(),
@@ -252,7 +257,7 @@ impl CmpSim {
             busy: HashMap::new(),
             queued: HashMap::new(),
             last_unblock: HashMap::new(),
-            in_flight: HashMap::new(),
+            in_flight: MsgTable::new(),
             granted: vec![None; n],
             last_out: vec![None; n],
             next_msg: 0,
@@ -428,24 +433,22 @@ impl CmpSim {
     /// unique registered owner; every S line is a registered sharer.
     fn validate_coherence(&self) {
         for (core, l1) in self.l1.iter().enumerate() {
-            l1.for_each_line(|line, meta| {
-                match self.dir.get(&line.0) {
-                    Some(DirState::Modified(o)) => {
-                        assert_eq!(
-                            *o as usize, core,
-                            "L1 {core} holds {line:?} but dir owner is {o}"
-                        );
-                        assert!(meta.m, "owner's copy of {line:?} lost M state");
-                    }
-                    Some(DirState::Shared(s)) => {
-                        assert!(
-                            s.contains(core),
-                            "L1 {core} holds {line:?} but is not a registered sharer"
-                        );
-                        assert!(!meta.m, "shared copy of {line:?} is dirty in L1 {core}");
-                    }
-                    other => panic!("L1 {core} holds {line:?} but dir says {other:?}"),
+            l1.for_each_line(|line, meta| match self.dir.get(&line.0) {
+                Some(DirState::Modified(o)) => {
+                    assert_eq!(
+                        *o as usize, core,
+                        "L1 {core} holds {line:?} but dir owner is {o}"
+                    );
+                    assert!(meta.m, "owner's copy of {line:?} lost M state");
                 }
+                Some(DirState::Shared(s)) => {
+                    assert!(
+                        s.contains(core),
+                        "L1 {core} holds {line:?} but is not a registered sharer"
+                    );
+                    assert!(!meta.m, "shared copy of {line:?} is dirty in L1 {core}");
+                }
+                other => panic!("L1 {core} holds {line:?} but dir says {other:?}"),
             });
         }
     }
@@ -556,9 +559,15 @@ impl CmpSim {
         let home = self.home(line);
         let deps = self.cores[c].last_enabler.into_iter().collect();
         let proto = if store {
-            ProtocolMsg::GetX { line, requester: c as u16 }
+            ProtocolMsg::GetX {
+                line,
+                requester: c as u16,
+            }
         } else {
-            ProtocolMsg::GetS { line, requester: c as u16 }
+            ProtocolMsg::GetS {
+                line,
+                requester: c as u16,
+            }
         };
         self.send(hook, t, c, home, proto, deps);
     }
@@ -570,7 +579,7 @@ impl CmpSim {
         hook.on_deliver(id, at);
         let proto = self
             .in_flight
-            .remove(&id.0)
+            .remove(id.0)
             .expect("delivery of unknown message");
         match proto {
             ProtocolMsg::GetS { line, requester } => {
@@ -643,7 +652,14 @@ impl CmpSim {
                 self.mem_free[mc_idx] = start + self.cfg.mem_service;
                 let resp_at = start + self.cfg.mem_latency;
                 let home = self.home(line);
-                self.send(hook, resp_at, mc_node, home, ProtocolMsg::MemResp { line }, vec![id]);
+                self.send(
+                    hook,
+                    resp_at,
+                    mc_node,
+                    home,
+                    ProtocolMsg::MemResp { line },
+                    vec![id],
+                );
             }
             ProtocolMsg::MemResp { line } => {
                 self.handle_mem_resp(hook, at, id, line);
@@ -680,8 +696,7 @@ impl CmpSim {
                 let waited = at.saturating_since(self.cores[c].barrier_start);
                 self.cores[c].wait_barrier += waited;
                 self.cores[c].last_enabler = Some(id);
-                self.q
-                    .schedule(at + self.cyc(1), Ev::CoreNext(c as u16));
+                self.q.schedule(at + self.cyc(1), Ev::CoreNext(c as u16));
             }
         }
     }
@@ -783,10 +798,11 @@ impl CmpSim {
         mut extra_deps: Vec<MsgId>,
     ) {
         if self.busy.contains_key(&line.0) {
-            self.queued
-                .entry(line.0)
-                .or_default()
-                .push_back(QueuedReq { req_id, requester, is_x });
+            self.queued.entry(line.0).or_default().push_back(QueuedReq {
+                req_id,
+                requester,
+                is_x,
+            });
             return;
         }
         let home = self.home(line);
@@ -802,13 +818,23 @@ impl CmpSim {
                 // instead of fetching from ourselves.
                 self.busy.insert(
                     line.0,
-                    Txn { requester, is_x, kind: TxnKind::WaitWb, deps },
+                    Txn {
+                        requester,
+                        is_x,
+                        kind: TxnKind::WaitWb,
+                        deps,
+                    },
                 );
             }
             DirState::Modified(owner) => {
                 self.busy.insert(
                     line.0,
-                    Txn { requester, is_x, kind: TxnKind::WaitFetch, deps },
+                    Txn {
+                        requester,
+                        is_x,
+                        kind: TxnKind::WaitFetch,
+                        deps,
+                    },
                 );
                 self.send(
                     hook,
@@ -825,9 +851,16 @@ impl CmpSim {
                 if others.is_empty() {
                     // Upgrade (or takeover of a stale-sharer set).
                     let proto = if sharers.contains(r) {
-                        ProtocolMsg::UpgAck { line, to: requester }
+                        ProtocolMsg::UpgAck {
+                            line,
+                            to: requester,
+                        }
                     } else {
-                        ProtocolMsg::Data { line, to: requester, grant_m: true }
+                        ProtocolMsg::Data {
+                            line,
+                            to: requester,
+                            grant_m: true,
+                        }
                     };
                     // Data needs the L2; UpgAck does not.
                     if matches!(proto, ProtocolMsg::Data { .. }) {
@@ -844,13 +877,21 @@ impl CmpSim {
                             t,
                             home,
                             s,
-                            ProtocolMsg::Inv { line, target: s as u16 },
+                            ProtocolMsg::Inv {
+                                line,
+                                target: s as u16,
+                            },
                             vec![req_id],
                         );
                     }
                     self.busy.insert(
                         line.0,
-                        Txn { requester, is_x, kind: TxnKind::WaitAcks { pending }, deps },
+                        Txn {
+                            requester,
+                            is_x,
+                            kind: TxnKind::WaitAcks { pending },
+                            deps,
+                        },
                     );
                 }
             }
@@ -883,7 +924,11 @@ impl CmpSim {
                 t,
                 home,
                 r,
-                ProtocolMsg::Data { line, to: requester, grant_m: is_x },
+                ProtocolMsg::Data {
+                    line,
+                    to: requester,
+                    grant_m: is_x,
+                },
                 deps,
             );
             self.complete_txn(hook, t, line, req_id);
@@ -891,7 +936,12 @@ impl CmpSim {
             let (_, mc_node) = self.mem_ctrl_of(line);
             self.busy.insert(
                 line.0,
-                Txn { requester, is_x, kind: TxnKind::WaitMem, deps },
+                Txn {
+                    requester,
+                    is_x,
+                    kind: TxnKind::WaitMem,
+                    deps,
+                },
             );
             self.send(
                 hook,
@@ -978,7 +1028,11 @@ impl CmpSim {
                     t + self.cyc(self.cfg.l2_cycles),
                     home,
                     txn.requester as usize,
-                    ProtocolMsg::Data { line, to: txn.requester, grant_m: txn.is_x },
+                    ProtocolMsg::Data {
+                        line,
+                        to: txn.requester,
+                        grant_m: txn.is_x,
+                    },
                     txn.deps,
                 );
                 self.complete_txn(hook, t + self.cyc(self.cfg.l2_cycles), line, id);
@@ -996,7 +1050,13 @@ impl CmpSim {
         }
     }
 
-    fn handle_mem_resp(&mut self, hook: &mut dyn TraceHook, at: SimTime, id: MsgId, line: LineAddr) {
+    fn handle_mem_resp(
+        &mut self,
+        hook: &mut dyn TraceHook,
+        at: SimTime,
+        id: MsgId,
+        line: LineAddr,
+    ) {
         let t = at + self.cyc(self.cfg.l2_cycles);
         self.l2_fill(hook, t, line, false, id);
         let mut txn = self.busy.remove(&line.0).expect("MemResp without txn");
@@ -1009,7 +1069,11 @@ impl CmpSim {
             t,
             home,
             txn.requester as usize,
-            ProtocolMsg::Data { line, to: txn.requester, grant_m: txn.is_x },
+            ProtocolMsg::Data {
+                line,
+                to: txn.requester,
+                grant_m: txn.is_x,
+            },
             txn.deps,
         );
         self.complete_txn(hook, t, line, id);
@@ -1017,7 +1081,13 @@ impl CmpSim {
 
     /// After a transaction releases `line`, process the next queued
     /// request (its reply will additionally depend on `unblock`).
-    fn complete_txn(&mut self, hook: &mut dyn TraceHook, at: SimTime, line: LineAddr, unblock: MsgId) {
+    fn complete_txn(
+        &mut self,
+        hook: &mut dyn TraceHook,
+        at: SimTime,
+        line: LineAddr,
+        unblock: MsgId,
+    ) {
         debug_assert!(!self.busy.contains_key(&line.0));
         self.last_unblock.insert(line.0, unblock);
         let Some(q) = self.queued.get_mut(&line.0) else {

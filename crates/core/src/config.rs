@@ -1,10 +1,10 @@
 //! System configuration: the simulated machine and its interconnect.
 
 use sctm_cmp::CmpConfig;
-use sctm_enoc::{NocConfig, NocSim, Routing, Topology};
 use sctm_engine::net::{AnalyticNetwork, NetworkModel};
 use sctm_engine::table::Table;
 use sctm_engine::time::SimTime;
+use sctm_enoc::{NocConfig, NocSim, Routing, Topology};
 use sctm_onoc::{
     HybridConfig, HybridSim, ObusConfig, ObusSim, OmeshConfig, OmeshSim, OxbarConfig, OxbarSim,
 };
@@ -61,7 +61,11 @@ pub struct SystemConfig {
 impl SystemConfig {
     /// The default 2012-class configuration at `side × side` cores.
     pub fn new(side: usize, network: NetworkKind) -> Self {
-        SystemConfig { side, cmp: CmpConfig::tiled(side), network }
+        SystemConfig {
+            side,
+            cmp: CmpConfig::tiled(side),
+            network,
+        }
     }
 
     pub fn cores(&self) -> usize {
@@ -94,12 +98,7 @@ impl SystemConfig {
     /// mesh's zero-load behaviour (base NI+pipeline cost, per-hop router
     /// latency, serialisation per byte) with no contention.
     pub fn analytic(nodes: usize) -> AnalyticNetwork {
-        AnalyticNetwork::new(
-            nodes,
-            SimTime::from_ns(8),
-            SimTime::from_ps(1_500),
-            60,
-        )
+        AnalyticNetwork::new(nodes, SimTime::from_ns(8), SimTime::from_ps(1_500), 60)
     }
 
     /// Experiment E1: the paper-style configuration table.
@@ -111,17 +110,62 @@ impl SystemConfig {
         let row = |t: &mut Table, k: &str, v: String| {
             t.row(&[k.to_string(), v]);
         };
-        row(&mut t, "cores", format!("{} ({}x{} mesh)", self.cores(), self.side, self.side));
-        row(&mut t, "core clock", format!("{:.1} GHz, in-order, blocking", self.cmp.core_freq.ghz()));
-        row(&mut t, "L1D", format!("{} KiB, {}-way, 64 B lines, {}-cycle hit", self.cmp.l1.capacity_bytes() / 1024, self.cmp.l1.ways, self.cmp.l1_hit_cycles));
-        row(&mut t, "L2 slice", format!("{} KiB, {}-way, {}-cycle", self.cmp.l2_slice.capacity_bytes() / 1024, self.cmp.l2_slice.ways, self.cmp.l2_cycles));
-        row(&mut t, "coherence", "MESI-lite full-map directory, 2 vnets".to_string());
-        row(&mut t, "memory", format!("{} controllers, {} latency", self.cmp.num_mem_ctrl, self.cmp.mem_latency));
+        row(
+            &mut t,
+            "cores",
+            format!("{} ({}x{} mesh)", self.cores(), self.side, self.side),
+        );
+        row(
+            &mut t,
+            "core clock",
+            format!("{:.1} GHz, in-order, blocking", self.cmp.core_freq.ghz()),
+        );
+        row(
+            &mut t,
+            "L1D",
+            format!(
+                "{} KiB, {}-way, 64 B lines, {}-cycle hit",
+                self.cmp.l1.capacity_bytes() / 1024,
+                self.cmp.l1.ways,
+                self.cmp.l1_hit_cycles
+            ),
+        );
+        row(
+            &mut t,
+            "L2 slice",
+            format!(
+                "{} KiB, {}-way, {}-cycle",
+                self.cmp.l2_slice.capacity_bytes() / 1024,
+                self.cmp.l2_slice.ways,
+                self.cmp.l2_cycles
+            ),
+        );
+        row(
+            &mut t,
+            "coherence",
+            "MESI-lite full-map directory, 2 vnets".to_string(),
+        );
+        row(
+            &mut t,
+            "memory",
+            format!(
+                "{} controllers, {} latency",
+                self.cmp.num_mem_ctrl, self.cmp.mem_latency
+            ),
+        );
         let net_desc = match self.network {
-            NetworkKind::Emesh => "electrical mesh: 2-stage wormhole VC routers, XY, 2 GHz".to_string(),
-            NetworkKind::Omesh => "photonic circuit-switched mesh, 64λ × 10 Gb/s, electrical setup".to_string(),
-            NetworkKind::Oxbar => "MWSR optical crossbar, token arbitration, 64λ × 10 Gb/s".to_string(),
-            NetworkKind::Hybrid => "path-adaptive opto-electronic hybrid (distance/size policy)".to_string(),
+            NetworkKind::Emesh => {
+                "electrical mesh: 2-stage wormhole VC routers, XY, 2 GHz".to_string()
+            }
+            NetworkKind::Omesh => {
+                "photonic circuit-switched mesh, 64λ × 10 Gb/s, electrical setup".to_string()
+            }
+            NetworkKind::Oxbar => {
+                "MWSR optical crossbar, token arbitration, 64λ × 10 Gb/s".to_string()
+            }
+            NetworkKind::Hybrid => {
+                "path-adaptive opto-electronic hybrid (distance/size policy)".to_string()
+            }
             NetworkKind::Obus => "SWMR optical broadcast bus, 64λ × 10 Gb/s per source".to_string(),
             NetworkKind::Analytic => "contention-free analytic model".to_string(),
         };
@@ -172,6 +216,9 @@ mod tests {
         };
         let lat = net.model_latency(&m);
         // 8 ns base + 6 hops × 1.5 ns + 72 B × 60 ps ≈ 21.3 ns
-        assert!(lat > SimTime::from_ns(15) && lat < SimTime::from_ns(30), "{lat}");
+        assert!(
+            lat > SimTime::from_ns(15) && lat < SimTime::from_ns(30),
+            "{lat}"
+        );
     }
 }

@@ -11,7 +11,10 @@ use crate::metrics::{IterStats, RunReport};
 use sctm_cmp::{CmpSim, NullHook};
 use sctm_engine::net::{AnalyticNetwork, MsgClass, NodeId};
 use sctm_engine::time::SimTime;
-use sctm_trace::replay::{pair_corrections, replay_fixed, replay_oracle, replay_sctm_pass};
+use sctm_trace::replay::{
+    pair_corrections, replay_fixed, replay_oracle, replay_sctm_pass, replay_sctm_pass_with,
+    ReplayScratch,
+};
 use sctm_trace::{Capture, OnlineCorrected, TraceLog};
 use sctm_workloads::{build, Kernel, WorkloadParams};
 use std::time::Instant;
@@ -58,7 +61,12 @@ pub struct Experiment {
 
 impl Experiment {
     pub fn new(system: SystemConfig, kernel: Kernel) -> Self {
-        Experiment { system, kernel, ops_per_core: 1_500, seed: 1 }
+        Experiment {
+            system,
+            kernel,
+            ops_per_core: 1_500,
+            seed: 1,
+        }
     }
 
     pub fn with_ops(mut self, ops: usize) -> Self {
@@ -128,6 +136,9 @@ impl Experiment {
         let mut iters = Vec::new();
         let mut prev_est = SimTime::ZERO;
         let mut last: Option<(TraceLog, sctm_trace::ReplayResult)> = None;
+        // One replay arena for the whole loop: every iteration replays a
+        // same-shaped trace, so the buffers are paid for once.
+        let mut scratch = ReplayScratch::new();
         // Relative convergence threshold: 0.5% of the estimate.
         for it in 1..=max_iters {
             let log = self.capture_on(model.clone());
@@ -135,7 +146,7 @@ impl Experiment {
                 prev_est = log.capture_exec_time;
             }
             let mut net = SystemConfig::make_network_kind(side, kind);
-            let result = replay_sctm_pass(&log, net.as_mut());
+            let result = replay_sctm_pass_with(&log, net.as_mut(), &mut scratch);
             let est = result.est_exec_time;
             let drift = est.abs_diff(prev_est);
             // Damped correction update (an undamped loop oscillates:
@@ -338,7 +349,9 @@ mod tests {
 
     #[test]
     fn online_mode_runs() {
-        let r = exp(NetworkKind::Omesh).run(Mode::Online { epoch: SimTime::from_us(5) });
+        let r = exp(NetworkKind::Omesh).run(Mode::Online {
+            epoch: SimTime::from_us(5),
+        });
         assert!(r.exec_time > SimTime::ZERO);
         assert_eq!(r.mode, "online");
     }

@@ -205,7 +205,10 @@ mod tests {
         let mut q = EventQueue::new();
         q.schedule(SimTime::from_ps(10), 1);
         q.schedule(SimTime::from_ps(20), 2);
-        assert_eq!(q.pop_before(SimTime::from_ps(15)).map(|e| e.payload), Some(1));
+        assert_eq!(
+            q.pop_before(SimTime::from_ps(15)).map(|e| e.payload),
+            Some(1)
+        );
         assert_eq!(q.pop_before(SimTime::from_ps(15)), None);
         assert_eq!(q.len(), 1);
     }

@@ -26,14 +26,20 @@
 //! for parallel parameter sweeps.
 
 pub mod event;
+pub mod msgtable;
 pub mod net;
+pub mod par;
 pub mod rng;
 pub mod stats;
 pub mod table;
 pub mod time;
 
 pub use event::{EventQueue, QueuedEvent};
-pub use net::{AnalyticNetwork, Delivery, Message, MsgClass, MsgId, NetStats, NetworkModel, NodeId};
+pub use msgtable::MsgTable;
+pub use net::{
+    AnalyticNetwork, Delivery, Message, MsgClass, MsgId, NetStats, NetworkModel, NodeId,
+};
+pub use par::{num_threads, par_map, serial_map};
 pub use rng::StreamRng;
 pub use stats::{Counter, Histogram, Running};
 pub use table::{csv_row, Table};

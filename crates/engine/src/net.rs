@@ -206,7 +206,11 @@ impl AnalyticNetwork {
     /// `nodes` must be a perfect square (mesh hop distance is used).
     pub fn new(nodes: usize, base: SimTime, per_hop: SimTime, per_byte_ps: u64) -> Self {
         let mesh_w = (nodes as f64).sqrt() as usize;
-        assert_eq!(mesh_w * mesh_w, nodes, "AnalyticNetwork wants a square node count");
+        assert_eq!(
+            mesh_w * mesh_w,
+            nodes,
+            "AnalyticNetwork wants a square node count"
+        );
         AnalyticNetwork {
             nodes,
             mesh_w,
@@ -233,9 +237,8 @@ impl AnalyticNetwork {
     /// The uncorrected model latency for a message.
     pub fn model_latency(&self, msg: &Message) -> SimTime {
         let hops = self.hops(msg.src, msg.dst);
-        let raw = self.base.as_ps()
-            + self.per_hop.as_ps() * hops
-            + self.per_byte_ps * msg.bytes as u64;
+        let raw =
+            self.base.as_ps() + self.per_hop.as_ps() * hops + self.per_byte_ps * msg.bytes as u64;
         let q = self.correction_q10[self.corr_idx(msg.src, msg.dst, msg.class)] as u64;
         SimTime::from_ps(raw * q / 1024)
     }
@@ -255,9 +258,7 @@ impl AnalyticNetwork {
     pub fn base_latency(&self, msg: &Message) -> SimTime {
         let hops = self.hops(msg.src, msg.dst);
         SimTime::from_ps(
-            self.base.as_ps()
-                + self.per_hop.as_ps() * hops
-                + self.per_byte_ps * msg.bytes as u64,
+            self.base.as_ps() + self.per_hop.as_ps() * hops + self.per_byte_ps * msg.bytes as u64,
         )
     }
 
@@ -363,7 +364,11 @@ mod tests {
             id: MsgId(id),
             src: NodeId(src),
             dst: NodeId(dst),
-            class: if bytes > 16 { MsgClass::Data } else { MsgClass::Control },
+            class: if bytes > 16 {
+                MsgClass::Data
+            } else {
+                MsgClass::Control
+            },
             bytes,
         }
     }
@@ -425,7 +430,7 @@ mod tests {
         n.set_correction(NodeId(0), NodeId(1), MsgClass::Data, 1e9);
         assert!(n.correction(NodeId(0), NodeId(1), MsgClass::Data) <= 64.0);
         n.set_correction(NodeId(0), NodeId(1), MsgClass::Data, 0.0);
-        assert!(n.correction(NodeId(0), NodeId(1), MsgClass::Data) >= 1.0/64.0);
+        assert!(n.correction(NodeId(0), NodeId(1), MsgClass::Data) >= 1.0 / 64.0);
     }
 
     #[test]
@@ -472,7 +477,10 @@ mod tests {
         let mut out = Vec::new();
         for round in 0..10u64 {
             for i in 0..16u64 {
-                n.inject(n.next_time().unwrap_or(SimTime::ZERO), msg(round * 16 + i, (i % 16) as u32, ((i + 3) % 16) as u32, 8));
+                n.inject(
+                    n.next_time().unwrap_or(SimTime::ZERO),
+                    msg(round * 16 + i, (i % 16) as u32, ((i + 3) % 16) as u32, 8),
+                );
             }
             n.drain(&mut out);
         }

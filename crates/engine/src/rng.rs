@@ -9,12 +9,9 @@
 //! comparisons between simulator modes honest.
 //!
 //! The generator is xoshiro256++ (public-domain constants), seeded
-//! through SplitMix64. We carry our own 40-line implementation rather
-//! than depending on `rand_xoshiro`: the `rand` facade is still used for
-//! distributions (`Rng` trait), but the core state is ours so the stream
-//! derivation is stable across `rand` version bumps.
-
-use rand::{Error, RngCore, SeedableRng};
+//! through SplitMix64. We carry our own 40-line implementation with no
+//! external dependency: the stream derivation is part of the simulator's
+//! determinism contract and must never shift under a crate version bump.
 
 #[inline]
 fn splitmix64(state: &mut u64) -> u64 {
@@ -78,10 +75,7 @@ impl StreamRng {
     #[inline]
     fn next(&mut self) -> u64 {
         let s = &mut self.s;
-        let result = s[0]
-            .wrapping_add(s[3])
-            .rotate_left(23)
-            .wrapping_add(s[0]);
+        let result = s[0].wrapping_add(s[3]).rotate_left(23).wrapping_add(s[0]);
         let t = s[1] << 17;
         s[2] ^= s[0];
         s[3] ^= s[1];
@@ -153,18 +147,21 @@ impl StreamRng {
         assert!(!xs.is_empty(), "pick from empty slice");
         &xs[self.below(xs.len() as u64) as usize]
     }
-}
 
-impl RngCore for StreamRng {
+    /// Next raw 64-bit output of the generator.
     #[inline]
-    fn next_u32(&mut self) -> u32 {
-        (self.next() >> 32) as u32
-    }
-    #[inline]
-    fn next_u64(&mut self) -> u64 {
+    pub fn next_u64(&mut self) -> u64 {
         self.next()
     }
-    fn fill_bytes(&mut self, dest: &mut [u8]) {
+
+    /// Next raw 32-bit output (high half of the 64-bit state).
+    #[inline]
+    pub fn next_u32(&mut self) -> u32 {
+        (self.next() >> 32) as u32
+    }
+
+    /// Fill a byte slice with generator output (little-endian words).
+    pub fn fill_bytes(&mut self, dest: &mut [u8]) {
         let mut chunks = dest.chunks_exact_mut(8);
         for chunk in &mut chunks {
             chunk.copy_from_slice(&self.next().to_le_bytes());
@@ -174,17 +171,6 @@ impl RngCore for StreamRng {
             let bytes = self.next().to_le_bytes();
             rem.copy_from_slice(&bytes[..rem.len()]);
         }
-    }
-    fn try_fill_bytes(&mut self, dest: &mut [u8]) -> Result<(), Error> {
-        self.fill_bytes(dest);
-        Ok(())
-    }
-}
-
-impl SeedableRng for StreamRng {
-    type Seed = [u8; 8];
-    fn from_seed(seed: Self::Seed) -> Self {
-        StreamRng::new(u64::from_le_bytes(seed))
     }
 }
 
@@ -294,7 +280,11 @@ mod tests {
         let mut sorted = v.clone();
         sorted.sort_unstable();
         assert_eq!(sorted, (0..100).collect::<Vec<_>>());
-        assert_ne!(v, (0..100).collect::<Vec<_>>(), "shuffle left input in order");
+        assert_ne!(
+            v,
+            (0..100).collect::<Vec<_>>(),
+            "shuffle left input in order"
+        );
     }
 
     #[test]

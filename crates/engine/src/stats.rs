@@ -343,7 +343,9 @@ mod tests {
 
     #[test]
     fn running_merge_equals_sequential() {
-        let xs: Vec<f64> = (0..1000).map(|i| (i as f64 * 0.37).sin() * 10.0 + 5.0).collect();
+        let xs: Vec<f64> = (0..1000)
+            .map(|i| (i as f64 * 0.37).sin() * 10.0 + 5.0)
+            .collect();
         let mut all = Running::new();
         for &x in &xs {
             all.push(x);

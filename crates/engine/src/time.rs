@@ -196,7 +196,9 @@ impl Freq {
             1000 % ghz == 0,
             "period of {ghz} GHz is not a whole number of picoseconds"
         );
-        Freq { period_ps: 1000 / ghz }
+        Freq {
+            period_ps: 1000 / ghz,
+        }
     }
 
     /// A clock of `mhz` megahertz (period must divide evenly).
@@ -206,7 +208,9 @@ impl Freq {
             1_000_000 % mhz == 0,
             "period of {mhz} MHz is not a whole number of picoseconds"
         );
-        Freq { period_ps: 1_000_000 / mhz }
+        Freq {
+            period_ps: 1_000_000 / mhz,
+        }
     }
 
     /// Period of one cycle.
@@ -329,13 +333,16 @@ mod tests {
 
     #[test]
     fn ordering_is_numeric() {
-        let mut v = vec![
+        let mut v = [
             SimTime::from_ps(30),
             SimTime::from_ps(10),
             SimTime::from_ps(20),
         ];
         v.sort();
-        assert_eq!(v.iter().map(|t| t.as_ps()).collect::<Vec<_>>(), vec![10, 20, 30]);
+        assert_eq!(
+            v.iter().map(|t| t.as_ps()).collect::<Vec<_>>(),
+            vec![10, 20, 30]
+        );
     }
 
     #[test]

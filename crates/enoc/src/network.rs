@@ -19,6 +19,7 @@
 
 use crate::packet::{Flit, PacketizeConfig, Reassembly};
 use crate::topology::{Port, Routing, Topology, DIRS, NUM_PORTS};
+use sctm_engine::msgtable::MsgTable;
 use sctm_engine::net::{Delivery, Message, NetStats, NetworkModel};
 use sctm_engine::time::{Freq, SimTime};
 use std::cmp::Reverse;
@@ -71,7 +72,6 @@ impl NocConfig {
         // +router_stages: source router pipeline; flits-1: serialization.
         per_hop * hops + self.router_stages + (flits - 1)
     }
-
 }
 
 /// State of one input virtual channel.
@@ -114,7 +114,7 @@ pub struct NocSim {
     sink: Vec<Reassembly>,
     /// Future injections not yet due, ordered by time then id.
     pending: BinaryHeap<Reverse<(SimTime, u64)>>,
-    pending_msgs: std::collections::HashMap<u64, Message>,
+    pending_msgs: MsgTable<Message>,
     cycle: u64,
     /// Flits anywhere inside routers or NI queues.
     active_flits: usize,
@@ -170,7 +170,7 @@ impl NocSim {
             nis: (0..n).map(|_| Ni::default()).collect(),
             sink: (0..n).map(|_| Reassembly::new()).collect(),
             pending: BinaryHeap::new(),
-            pending_msgs: Default::default(),
+            pending_msgs: MsgTable::new(),
             cycle: 0,
             active_flits: 0,
             stats: NetStats::default(),
@@ -223,7 +223,7 @@ impl NocSim {
                 break;
             }
             self.pending.pop();
-            let msg = self.pending_msgs.remove(&id).expect("pending msg vanished");
+            let msg = self.pending_msgs.remove(id).expect("pending msg vanished");
             let flits = self.cfg.pkt.packetize(&msg);
             self.active_flits += flits.len();
             self.sink[msg.dst.idx()].begin(msg, t);
@@ -361,7 +361,13 @@ impl NocSim {
             }
             let here = sctm_engine::net::NodeId(node as u32);
             let mut input_port_used = [false; NUM_PORTS];
-            for out_port in [Port::Local, Port::North, Port::East, Port::South, Port::West] {
+            for out_port in [
+                Port::Local,
+                Port::North,
+                Port::East,
+                Port::South,
+                Port::West,
+            ] {
                 let op = out_port.idx();
                 // Round-robin over all input VCs for this output port.
                 let start = self.routers[node].sa_rr[op];
@@ -446,8 +452,7 @@ impl NocSim {
                     if topo.dateline_crossed(here, out_port) {
                         flit.dateline = true;
                     }
-                    flit.ready_cycle =
-                        self.cycle + self.cfg.link_cycles + self.cfg.router_stages;
+                    flit.ready_cycle = self.cycle + self.cfg.link_cycles + self.cfg.router_stages;
                     let down = topo.neighbor(here, out_port).expect("route into a wall");
                     let dpv = out_port.opposite().idx() * v + ovc;
                     self.routers[down.idx()].invc[dpv].buf.push_back(flit);
@@ -551,7 +556,13 @@ mod tests {
     }
 
     fn msg(id: u64, src: u32, dst: u32, class: MsgClass, bytes: u32) -> Message {
-        Message { id: MsgId(id), src: NodeId(src), dst: NodeId(dst), class, bytes }
+        Message {
+            id: MsgId(id),
+            src: NodeId(src),
+            dst: NodeId(dst),
+            class,
+            bytes,
+        }
     }
 
     fn drain_all(sim: &mut NocSim) -> Vec<Delivery> {
@@ -609,7 +620,10 @@ mod tests {
         let mut b = NocSim::new(cfg);
         b.inject(SimTime::ZERO, msg(1, 0, 15, MsgClass::Data, 64));
         let lb = drain_all(&mut b)[0].latency();
-        assert!(lb > la, "5-flit data ({lb}) not slower than 1-flit ctrl ({la})");
+        assert!(
+            lb > la,
+            "5-flit data ({lb}) not slower than 1-flit ctrl ({la})"
+        );
     }
 
     #[test]
@@ -675,9 +689,16 @@ mod tests {
             if d == s {
                 d = (d + 1) % 16;
             }
-            let class = if rng.chance(0.5) { MsgClass::Control } else { MsgClass::Data };
+            let class = if rng.chance(0.5) {
+                MsgClass::Control
+            } else {
+                MsgClass::Data
+            };
             let bytes = if class == MsgClass::Control { 8 } else { 64 };
-            sim.inject(SimTime::from_ns(rng.below(2000)), msg(i, s, d, class, bytes));
+            sim.inject(
+                SimTime::from_ns(rng.below(2000)),
+                msg(i, s, d, class, bytes),
+            );
         }
         let out = drain_all(&mut sim);
         assert_eq!(out.len(), n as usize);

@@ -9,7 +9,6 @@
 
 use sctm_engine::net::{Message, MsgId, NodeId};
 use sctm_engine::time::SimTime;
-use std::collections::HashMap;
 
 /// Payload bytes that ride inside the head flit alongside the header.
 pub const HEAD_PAYLOAD_BYTES: u32 = 8;
@@ -110,9 +109,14 @@ impl PacketizeConfig {
 
 /// Per-destination packet reassembly: counts ejected flits and reports
 /// completion when the tail arrives.
+///
+/// A node only ever has a handful of packets in reassembly at once
+/// (wormhole switching interleaves few packets per ejection port), so a
+/// linear-scan vector beats a hash map here: no hashing on the per-flit
+/// path, and removal is a `swap_remove`.
 #[derive(Debug, Default)]
 pub struct Reassembly {
-    open: HashMap<u64, (Message, SimTime, usize)>,
+    open: Vec<(u64, Message, SimTime, usize)>,
 }
 
 impl Reassembly {
@@ -123,20 +127,25 @@ impl Reassembly {
     /// Register a packet at injection time so its metadata survives the
     /// flits (flits carry only ids).
     pub fn begin(&mut self, msg: Message, injected_at: SimTime) {
-        let prev = self.open.insert(msg.id.0, (msg, injected_at, 0));
-        debug_assert!(prev.is_none(), "duplicate packet id {:?}", msg.id);
+        debug_assert!(
+            !self.open.iter().any(|e| e.0 == msg.id.0),
+            "duplicate packet id {:?}",
+            msg.id
+        );
+        self.open.push((msg.id.0, msg, injected_at, 0));
     }
 
     /// Record one ejected flit; on the tail flit, returns the completed
     /// message and its injection time.
     pub fn eject(&mut self, flit: &Flit) -> Option<(Message, SimTime)> {
-        let entry = self
+        let pos = self
             .open
-            .get_mut(&flit.pkt.0)
+            .iter()
+            .position(|e| e.0 == flit.pkt.0)
             .expect("ejected flit for unknown packet");
-        entry.2 += 1;
+        self.open[pos].3 += 1;
         if flit.kind.is_tail() {
-            let (msg, t, _) = self.open.remove(&flit.pkt.0).unwrap();
+            let (_, msg, t, _) = self.open.swap_remove(pos);
             Some((msg, t))
         } else {
             None
@@ -159,7 +168,11 @@ mod tests {
             id: MsgId(7),
             src: NodeId(0),
             dst: NodeId(3),
-            class: if bytes > 16 { MsgClass::Data } else { MsgClass::Control },
+            class: if bytes > 16 {
+                MsgClass::Data
+            } else {
+                MsgClass::Control
+            },
             bytes,
         }
     }

@@ -72,13 +72,27 @@ pub struct Topology {
 
 impl Topology {
     pub fn mesh(width: usize, height: usize) -> Self {
-        assert!(width >= 2 && height >= 1, "degenerate mesh {width}x{height}");
-        Topology { width, height, torus: false }
+        assert!(
+            width >= 2 && height >= 1,
+            "degenerate mesh {width}x{height}"
+        );
+        Topology {
+            width,
+            height,
+            torus: false,
+        }
     }
 
     pub fn torus(width: usize, height: usize) -> Self {
-        assert!(width >= 2 && height >= 2, "degenerate torus {width}x{height}");
-        Topology { width, height, torus: true }
+        assert!(
+            width >= 2 && height >= 2,
+            "degenerate torus {width}x{height}"
+        );
+        Topology {
+            width,
+            height,
+            torus: true,
+        }
     }
 
     #[inline]
@@ -106,28 +120,44 @@ impl Topology {
         let (nx, ny) = match p {
             Port::North => {
                 if y == 0 {
-                    if self.torus { (x, h - 1) } else { return None }
+                    if self.torus {
+                        (x, h - 1)
+                    } else {
+                        return None;
+                    }
                 } else {
                     (x, y - 1)
                 }
             }
             Port::South => {
                 if y + 1 == h {
-                    if self.torus { (x, 0) } else { return None }
+                    if self.torus {
+                        (x, 0)
+                    } else {
+                        return None;
+                    }
                 } else {
                     (x, y + 1)
                 }
             }
             Port::West => {
                 if x == 0 {
-                    if self.torus { (w - 1, y) } else { return None }
+                    if self.torus {
+                        (w - 1, y)
+                    } else {
+                        return None;
+                    }
                 } else {
                     (x - 1, y)
                 }
             }
             Port::East => {
                 if x + 1 == w {
-                    if self.torus { (0, y) } else { return None }
+                    if self.torus {
+                        (0, y)
+                    } else {
+                        return None;
+                    }
                 } else {
                     (x + 1, y)
                 }
@@ -157,11 +187,19 @@ impl Topology {
             return None;
         }
         if !self.torus {
-            return Some(if to_x > from_x { Port::East } else { Port::West });
+            return Some(if to_x > from_x {
+                Port::East
+            } else {
+                Port::West
+            });
         }
         let right = (to_x + self.width - from_x) % self.width;
         let left = (from_x + self.width - to_x) % self.width;
-        Some(if right <= left { Port::East } else { Port::West })
+        Some(if right <= left {
+            Port::East
+        } else {
+            Port::West
+        })
     }
 
     fn y_dir(&self, from_y: usize, to_y: usize) -> Option<Port> {
@@ -169,7 +207,11 @@ impl Topology {
             return None;
         }
         if !self.torus {
-            return Some(if to_y > from_y { Port::South } else { Port::North });
+            return Some(if to_y > from_y {
+                Port::South
+            } else {
+                Port::North
+            });
         }
         let down = (to_y + self.height - from_y) % self.height;
         let up = (from_y + self.height - to_y) % self.height;

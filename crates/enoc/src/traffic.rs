@@ -246,7 +246,13 @@ impl TrafficRunner {
             }
             net.inject(
                 t,
-                Message { id: MsgId(id), src, dst, class, bytes },
+                Message {
+                    id: MsgId(id),
+                    src,
+                    dst,
+                    class,
+                    bytes,
+                },
             );
         }
         let measured_injected = if measured_ids_start == u64::MAX {
@@ -382,7 +388,10 @@ mod tests {
             ..TrafficConfig::default()
         };
         let pt = TrafficRunner::new(t).run(&mut net, 4);
-        assert!(pt.delivered_frac > 0.99, "lost traffic at 0.5% load: {pt:?}");
+        assert!(
+            pt.delivered_frac > 0.99,
+            "lost traffic at 0.5% load: {pt:?}"
+        );
         assert!(pt.avg_latency_ns > 0.0);
         // Average hop count ~2.67, ~6 cycles zero-load + serialization;
         // anything above 50 ns at this load means congestion collapse.

@@ -31,7 +31,10 @@ impl Default for HybridPolicy {
     fn default() -> Self {
         // Setup cost ≈ 2×hops control messages; light pays off beyond a
         // few hops, and only data-sized payloads amortise it.
-        HybridPolicy { min_hops: 3, min_bytes: 32 }
+        HybridPolicy {
+            min_hops: 3,
+            min_bytes: 32,
+        }
     }
 }
 
@@ -175,7 +178,11 @@ mod tests {
             id: MsgId(id),
             src: NodeId(src),
             dst: NodeId(dst),
-            class: if bytes > 16 { MsgClass::Data } else { MsgClass::Control },
+            class: if bytes > 16 {
+                MsgClass::Data
+            } else {
+                MsgClass::Control
+            },
             bytes,
         }
     }
@@ -265,7 +272,12 @@ mod tests {
         for i in 0..200u64 {
             s.inject(
                 SimTime::from_ns(i % 40),
-                msg(i, (i % 16) as u32, ((i * 7 + 3) % 16) as u32, if i % 2 == 0 { 8 } else { 64 }),
+                msg(
+                    i,
+                    (i % 16) as u32,
+                    ((i * 7 + 3) % 16) as u32,
+                    if i % 2 == 0 { 8 } else { 64 },
+                ),
             );
         }
         let mut out = Vec::new();
@@ -295,12 +307,19 @@ mod tests {
             for i in 0..300u64 {
                 s.inject(
                     SimTime::from_ns(i % 60),
-                    msg(i, (i % 16) as u32, ((i * 5 + 1) % 16) as u32, if i % 3 == 0 { 8 } else { 64 }),
+                    msg(
+                        i,
+                        (i % 16) as u32,
+                        ((i * 5 + 1) % 16) as u32,
+                        if i % 3 == 0 { 8 } else { 64 },
+                    ),
                 );
             }
             let mut out = Vec::new();
             s.drain(&mut out);
-            out.iter().map(|d| (d.msg.id.0, d.delivered_at.as_ps())).collect::<Vec<_>>()
+            out.iter()
+                .map(|d| (d.msg.id.0, d.delivered_at.as_ps()))
+                .collect::<Vec<_>>()
         };
         assert_eq!(run(), run());
     }

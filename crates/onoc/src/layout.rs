@@ -20,7 +20,10 @@ impl Floorplan {
     pub fn new(side: usize, tile_pitch_mm: f64) -> Self {
         assert!(side >= 2);
         assert!(tile_pitch_mm > 0.0);
-        Floorplan { side, tile_pitch_mm }
+        Floorplan {
+            side,
+            tile_pitch_mm,
+        }
     }
 
     pub fn num_nodes(&self) -> usize {
@@ -139,9 +142,7 @@ mod tests {
         let f = fp();
         assert!((f.serpentine_distance_mm(NodeId(0), NodeId(1)) - 2.5).abs() < 1e-12);
         // going "backwards" means almost all the way around
-        assert!(
-            (f.serpentine_distance_mm(NodeId(1), NodeId(0)) - 63.0 * 2.5).abs() < 1e-12
-        );
+        assert!((f.serpentine_distance_mm(NodeId(1), NodeId(0)) - 63.0 * 2.5).abs() < 1e-12);
         assert!((f.serpentine_length_mm() - 157.5).abs() < 1e-12);
     }
 
@@ -150,7 +151,10 @@ mod tests {
         let f = fp();
         let kit = DeviceKit::default();
         let mesh_loss = f.omesh_worst_path().insertion_loss_db(&kit);
-        assert!(mesh_loss > 2.0 && mesh_loss < 25.0, "omesh loss {mesh_loss}");
+        assert!(
+            mesh_loss > 2.0 && mesh_loss < 25.0,
+            "omesh loss {mesh_loss}"
+        );
         let xbar_loss = f.oxbar_worst_path(64).insertion_loss_db(&kit);
         assert!(xbar_loss > 5.0, "oxbar loss {xbar_loss}");
         // The crossbar's full-serpentine propagation dominates: it must
@@ -173,7 +177,10 @@ mod tests {
     #[test]
     fn ring_counts_scale() {
         let f = Floorplan::new(4, 2.5);
-        let plan = ChannelPlan { lambdas: 16, gbps_per_lambda: 10.0 };
+        let plan = ChannelPlan {
+            lambdas: 16,
+            gbps_per_lambda: 10.0,
+        };
         let b = f.oxbar_budget(DeviceKit::default(), plan);
         assert_eq!(b.total_rings, 16 * 16 * 16);
     }

@@ -26,7 +26,7 @@ pub mod omesh;
 pub mod oxbar;
 
 pub use hybrid::{HybridConfig, HybridPolicy, HybridSim};
-pub use obus::{ObusConfig, ObusSim};
 pub use layout::Floorplan;
+pub use obus::{ObusConfig, ObusSim};
 pub use omesh::{OmeshConfig, OmeshSim};
 pub use oxbar::{OxbarConfig, OxbarSim};

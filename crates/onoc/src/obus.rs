@@ -13,10 +13,10 @@
 
 use crate::layout::Floorplan;
 use sctm_engine::event::EventQueue;
+use sctm_engine::msgtable::MsgTable;
 use sctm_engine::net::{Delivery, Message, NetStats, NetworkModel};
 use sctm_engine::time::{Freq, SimTime};
 use sctm_photonic::{ChannelPlan, DeviceKit, LinkBudget, OpticalPath, PowerBreakdown};
-use std::collections::HashMap;
 
 /// Configuration of the broadcast bus.
 #[derive(Clone, Copy, Debug)]
@@ -89,7 +89,7 @@ enum Ev {
 pub struct ObusSim {
     cfg: ObusConfig,
     q: EventQueue<Ev>,
-    msgs: HashMap<u64, (Message, SimTime)>,
+    msgs: MsgTable<(Message, SimTime)>,
     /// Per-source channel: busy until.
     src_free: Vec<SimTime>,
     /// Per-receiver ejection port: busy until.
@@ -104,7 +104,7 @@ impl ObusSim {
         ObusSim {
             cfg,
             q: EventQueue::new(),
-            msgs: HashMap::new(),
+            msgs: MsgTable::new(),
             src_free: vec![SimTime::ZERO; n],
             dst_free: vec![SimTime::ZERO; n],
             stats: NetStats::default(),
@@ -130,7 +130,7 @@ impl ObusSim {
     fn handle(&mut self, at: SimTime, ev: Ev, out: &mut Vec<Delivery>) {
         match ev {
             Ev::Ready(id) => {
-                let (msg, _) = self.msgs[&id];
+                let (msg, _) = self.msgs[id];
                 if msg.src == msg.dst {
                     self.q.schedule(at + self.ni_delay(), Ev::Deliver(id));
                     return;
@@ -144,16 +144,13 @@ impl ObusSim {
                 self.q.schedule(end, Ev::BurstEnd(id));
             }
             Ev::BurstEnd(id) => {
-                let (msg, _) = self.msgs[&id];
-                let dist = self
-                    .cfg
-                    .floorplan
-                    .serpentine_distance_mm(msg.src, msg.dst);
+                let (msg, _) = self.msgs[id];
+                let dist = self.cfg.floorplan.serpentine_distance_mm(msg.src, msg.dst);
                 let tof = SimTime::from_ps(self.cfg.kit.waveguide.tof_ps(dist));
                 self.q.schedule(at + tof, Ev::Arrive(id));
             }
             Ev::Arrive(id) => {
-                let (msg, _) = self.msgs[&id];
+                let (msg, _) = self.msgs[id];
                 // One ejection port per node: serialise receptions.
                 let eject = self.cfg.plan.burst_time(msg.bytes.max(1));
                 let start = at.max(self.dst_free[msg.dst.idx()]);
@@ -162,8 +159,12 @@ impl ObusSim {
                     .schedule(start + eject + self.ni_delay(), Ev::Deliver(id));
             }
             Ev::Deliver(id) => {
-                let (msg, injected_at) = self.msgs.remove(&id).expect("unknown message");
-                let d = Delivery { msg, injected_at, delivered_at: at };
+                let (msg, injected_at) = self.msgs.remove(id).expect("unknown message");
+                let d = Delivery {
+                    msg,
+                    injected_at,
+                    delivered_at: at,
+                };
                 self.stats.record_delivery(&d);
                 out.push(d);
             }
@@ -218,7 +219,11 @@ mod tests {
             id: MsgId(id),
             src: NodeId(src),
             dst: NodeId(dst),
-            class: if bytes > 16 { MsgClass::Data } else { MsgClass::Control },
+            class: if bytes > 16 {
+                MsgClass::Data
+            } else {
+                MsgClass::Control
+            },
             bytes,
         }
     }

@@ -22,10 +22,11 @@
 
 use crate::layout::Floorplan;
 use sctm_engine::event::EventQueue;
+use sctm_engine::msgtable::MsgTable;
 use sctm_engine::net::{Delivery, Message, MsgClass, NetStats, NetworkModel, NodeId};
 use sctm_engine::time::{Freq, SimTime};
 use sctm_photonic::{ChannelPlan, DeviceKit, LinkBudget, PowerBreakdown};
-use std::collections::{HashMap, VecDeque};
+use std::collections::VecDeque;
 
 /// Configuration for the circuit-switched photonic mesh.
 #[derive(Clone, Copy, Debug)]
@@ -68,11 +69,93 @@ impl OmeshConfig {
     }
 }
 
-#[derive(Debug)]
+/// XY route endpoints in mesh coordinates, resolved once at injection.
+///
+/// The route itself is never materialised: every node on it — and the
+/// direction of every step — is computable in O(1) from these four
+/// coordinates, so per-message state stays allocation-free and the
+/// per-event handlers never pay a div/mod to recover positions.
+#[derive(Clone, Copy, Debug)]
+struct Route {
+    sx: u32,
+    sy: u32,
+    dx: u32,
+    dy: u32,
+}
+
+impl Route {
+    #[inline]
+    fn new(side: usize, src: NodeId, dst: NodeId) -> Self {
+        let side = side as u32;
+        let (s, d) = (src.idx() as u32, dst.idx() as u32);
+        Route {
+            sx: s % side,
+            sy: s / side,
+            dx: d % side,
+            dy: d / side,
+        }
+    }
+
+    /// Number of nodes on the route, inclusive of both endpoints.
+    #[inline]
+    fn len(&self) -> usize {
+        (self.sx.abs_diff(self.dx) + self.sy.abs_diff(self.dy) + 1) as usize
+    }
+
+    /// The `k`-th node on the route (X first, then Y — identical order
+    /// to walking the route hop by hop).
+    #[inline]
+    fn node(&self, side: usize, k: usize) -> NodeId {
+        let k = k as u32;
+        let xsteps = self.sx.abs_diff(self.dx);
+        if k <= xsteps {
+            let x = if self.dx >= self.sx {
+                self.sx + k
+            } else {
+                self.sx - k
+            };
+            NodeId(self.sy * side as u32 + x)
+        } else {
+            let step = k - xsteps;
+            let y = if self.dy >= self.sy {
+                self.sy + step
+            } else {
+                self.sy - step
+            };
+            NodeId(y * side as u32 + self.dx)
+        }
+    }
+
+    /// Direction (0=N,1=E,2=S,3=W) of the step from node `k` to `k+1`.
+    #[inline]
+    fn step_dir(&self, k: usize) -> usize {
+        let xsteps = self.sx.abs_diff(self.dx) as usize;
+        if k < xsteps {
+            if self.dx > self.sx {
+                1
+            } else {
+                3
+            }
+        } else if self.dy > self.sy {
+            2
+        } else {
+            0
+        }
+    }
+
+    /// Segment id (`node*4 + dir`) of the step from node `k` to `k+1`.
+    #[inline]
+    fn seg(&self, side: usize, k: usize) -> usize {
+        self.node(side, k).idx() * 4 + self.step_dir(k)
+    }
+}
+
+#[derive(Clone, Copy, Debug)]
 struct MsgState {
     msg: Message,
     injected_at: SimTime,
-    path: Vec<NodeId>,
+    route: Route,
+    /// Current position along the XY route.
     hop: usize,
 }
 
@@ -92,7 +175,7 @@ enum Ev {
 pub struct OmeshSim {
     cfg: OmeshConfig,
     q: EventQueue<Ev>,
-    msgs: HashMap<u64, MsgState>,
+    msgs: MsgTable<MsgState>,
     /// Directed segment `node*4+dir` → holder message id.
     seg_busy: Vec<Option<u64>>,
     seg_wait: Vec<VecDeque<u64>>,
@@ -104,7 +187,10 @@ pub struct OmeshSim {
     side: usize,
 }
 
-/// Direction encoding for segments: 0=N,1=E,2=S,3=W.
+/// Direction encoding for segments: 0=N,1=E,2=S,3=W. Reference
+/// implementation — the hot path uses [`Route::step_dir`]; tests check
+/// the two agree on every route step.
+#[cfg(test)]
 fn dir_between(side: usize, a: NodeId, b: NodeId) -> usize {
     let (ax, ay) = (a.idx() % side, a.idx() / side);
     let (bx, by) = (b.idx() % side, b.idx() / side);
@@ -127,7 +213,7 @@ impl OmeshSim {
         OmeshSim {
             cfg,
             q: EventQueue::new(),
-            msgs: HashMap::new(),
+            msgs: MsgTable::new(),
             seg_busy: vec![None; n * 4],
             seg_wait: (0..n * 4).map(|_| VecDeque::new()).collect(),
             router_free: vec![SimTime::ZERO; n],
@@ -150,26 +236,12 @@ impl OmeshSim {
         budget.power(util)
     }
 
-    /// XY route, inclusive of both endpoints.
+    /// XY route, inclusive of both endpoints (test/diagnostic helper —
+    /// the hot path uses [`Route::node`] directly and never builds it).
+    #[cfg(test)]
     fn xy_path(&self, src: NodeId, dst: NodeId) -> Vec<NodeId> {
-        let side = self.side;
-        let (mut x, mut y) = (src.idx() % side, src.idx() / side);
-        let (dx, dy) = (dst.idx() % side, dst.idx() / side);
-        let mut path = vec![src];
-        while x != dx {
-            x = if dx > x { x + 1 } else { x - 1 };
-            path.push(NodeId((y * side + x) as u32));
-        }
-        while y != dy {
-            y = if dy > y { y + 1 } else { y - 1 };
-            path.push(NodeId((y * side + x) as u32));
-        }
-        path
-    }
-
-    #[inline]
-    fn seg_id(&self, from: NodeId, to: NodeId) -> usize {
-        from.idx() * 4 + dir_between(self.side, from, to)
+        let r = Route::new(self.side, src, dst);
+        (0..r.len()).map(|k| r.node(self.side, k)).collect()
     }
 
     fn cycles(&self, n: u64) -> SimTime {
@@ -192,7 +264,7 @@ impl OmeshSim {
             Ev::CtrlHop(id) => self.handle_ctrl_hop(at, id),
             Ev::OptDone(id) => self.handle_opt_done(at, id, out),
             Ev::CtrlDone(id) => {
-                let st = self.msgs.remove(&id).expect("ctrl done for unknown msg");
+                let st = self.msgs.remove(id).expect("ctrl done for unknown msg");
                 let d = Delivery {
                     msg: st.msg,
                     injected_at: st.injected_at,
@@ -205,40 +277,30 @@ impl OmeshSim {
     }
 
     fn handle_setup(&mut self, at: SimTime, id: u64) {
-        let (here, dst, hop, last) = {
-            let st = self.msgs.get(&id).expect("setup for unknown msg");
-            (
-                st.path[st.hop],
-                st.msg.dst,
-                st.hop,
-                st.hop + 1 == st.path.len(),
-            )
-        };
+        let st = *self.msgs.get(id).expect("setup for unknown msg");
+        let here = st.route.node(self.side, st.hop);
+        let len = st.route.len();
+        let last = st.hop + 1 == len;
         let svc_done = self.serve(here, at);
         if last {
             // Path fully reserved. ACK back to source (uncontended
             // control broadcast on the reserved path), then the optical
             // burst: time of flight + serialisation.
-            debug_assert_eq!(here, dst);
-            let st = self.msgs.get(&id).unwrap();
-            let hops = (st.path.len() - 1) as u64;
+            debug_assert_eq!(here, st.msg.dst);
+            let hops = (len - 1) as u64;
             let ack = if self.cfg.ack_required {
                 self.cycles(self.cfg.setup_hop_cycles * hops)
             } else {
                 SimTime::ZERO
             };
-            let length_mm = self
-                .cfg
-                .floorplan
-                .mesh_distance_mm(st.msg.src, st.msg.dst);
+            let length_mm = self.cfg.floorplan.mesh_distance_mm(st.msg.src, st.msg.dst);
             let tof = SimTime::from_ps(self.cfg.kit.waveguide.tof_ps(length_mm));
             let burst = self.cfg.plan.burst_time(st.msg.bytes);
             let arrive = svc_done + ack + tof + burst + self.cycles(self.cfg.ni_cycles);
             self.optical_bits += st.msg.bytes as u64 * 8;
             self.q.schedule(arrive, Ev::OptDone(id));
         } else {
-            let next = self.msgs.get(&id).unwrap().path[hop + 1];
-            let seg = self.seg_id(here, next);
+            let seg = st.route.seg(self.side, st.hop);
             if self.seg_busy[seg].is_none() {
                 self.seg_busy[seg] = Some(id);
                 self.advance_setup(id, svc_done);
@@ -250,34 +312,32 @@ impl OmeshSim {
 
     /// Move the setup to the next router (segment already reserved).
     fn advance_setup(&mut self, id: u64, from_time: SimTime) {
-        let st = self.msgs.get_mut(&id).unwrap();
+        let st = self.msgs.get_mut(id).unwrap();
         st.hop += 1;
         let t = from_time + self.cycles(self.cfg.setup_hop_cycles);
         self.q.schedule(t.max(self.q.now()), Ev::Setup(id));
     }
 
     fn handle_ctrl_hop(&mut self, at: SimTime, id: u64) {
-        let (here, hop, last) = {
-            let st = self.msgs.get(&id).expect("ctrl hop for unknown msg");
-            (st.path[st.hop], st.hop, st.hop + 1 == st.path.len())
-        };
-        let _ = hop;
+        let st = *self.msgs.get(id).expect("ctrl hop for unknown msg");
+        let here = st.route.node(self.side, st.hop);
+        let last = st.hop + 1 == st.route.len();
         let svc_done = self.serve(here, at);
         if last {
             let t = svc_done + self.cycles(self.cfg.ni_cycles);
             self.q.schedule(t, Ev::CtrlDone(id));
         } else {
-            self.msgs.get_mut(&id).unwrap().hop += 1;
+            self.msgs.get_mut(id).unwrap().hop += 1;
             let t = svc_done + self.cycles(self.cfg.setup_hop_cycles);
             self.q.schedule(t, Ev::CtrlHop(id));
         }
     }
 
     fn handle_opt_done(&mut self, at: SimTime, id: u64, out: &mut Vec<Delivery>) {
-        let st = self.msgs.remove(&id).expect("opt done for unknown msg");
+        let st = self.msgs.remove(id).expect("opt done for unknown msg");
         // Tear down every segment and hand freed ones to waiters.
-        for w in st.path.windows(2) {
-            let seg = self.seg_id(w[0], w[1]);
+        for k in 0..st.route.len() - 1 {
+            let seg = st.route.seg(self.side, k);
             debug_assert_eq!(self.seg_busy[seg], Some(id), "segment not held by owner");
             self.seg_busy[seg] = None;
             if let Some(next_id) = self.seg_wait[seg].pop_front() {
@@ -303,12 +363,16 @@ impl NetworkModel for OmeshSim {
     fn inject(&mut self, at: SimTime, msg: Message) {
         let at = at.max(self.q.now());
         self.stats.injected += 1;
-        let path = self.xy_path(msg.src, msg.dst);
         let id = msg.id.0;
         let electrical = msg.bytes <= self.cfg.ctrl_cutoff_bytes
             || msg.class == MsgClass::Control
             || msg.src == msg.dst;
-        let st = MsgState { msg, injected_at: at, path, hop: 0 };
+        let st = MsgState {
+            msg,
+            injected_at: at,
+            route: Route::new(self.side, msg.src, msg.dst),
+            hop: 0,
+        };
         let prev = self.msgs.insert(id, st);
         debug_assert!(prev.is_none(), "duplicate message id {id}");
         let start = at + self.cycles(self.cfg.ni_cycles);
@@ -353,7 +417,13 @@ mod tests {
     }
 
     fn msg(id: u64, src: u32, dst: u32, class: MsgClass, bytes: u32) -> Message {
-        Message { id: MsgId(id), src: NodeId(src), dst: NodeId(dst), class, bytes }
+        Message {
+            id: MsgId(id),
+            src: NodeId(src),
+            dst: NodeId(dst),
+            class,
+            bytes,
+        }
     }
 
     fn drain(s: &mut OmeshSim) -> Vec<Delivery> {
@@ -369,8 +439,44 @@ mod tests {
         assert_eq!(p.first(), Some(&NodeId(0)));
         assert_eq!(p.last(), Some(&NodeId(15)));
         assert_eq!(p.len(), 7); // 6 hops corner to corner in 4x4
-        // X first
+                                // X first
         assert_eq!(p[1], NodeId(1));
+    }
+
+    /// The O(1) `xy_node` formula must agree with a literal hop-by-hop
+    /// XY walk for every (src, dst) pair — it replaced a materialised
+    /// path and any disagreement silently reroutes traffic.
+    #[test]
+    fn xy_node_matches_walked_route() {
+        for side in [2usize, 3, 4, 5] {
+            let s = OmeshSim::new(OmeshConfig::new(side));
+            let n = side * side;
+            for src in 0..n as u32 {
+                for dst in 0..n as u32 {
+                    let (src, dst) = (NodeId(src), NodeId(dst));
+                    let mut walked = vec![src];
+                    let (mut x, mut y) = (src.idx() % side, src.idx() / side);
+                    let (dx, dy) = (dst.idx() % side, dst.idx() / side);
+                    while x != dx {
+                        x = if dx > x { x + 1 } else { x - 1 };
+                        walked.push(NodeId((y * side + x) as u32));
+                    }
+                    while y != dy {
+                        y = if dy > y { y + 1 } else { y - 1 };
+                        walked.push(NodeId((y * side + x) as u32));
+                    }
+                    assert_eq!(s.xy_path(src, dst), walked, "{src}->{dst} side {side}");
+                    let r = Route::new(side, src, dst);
+                    for (k, w) in walked.windows(2).enumerate() {
+                        assert_eq!(
+                            r.seg(side, k),
+                            w[0].idx() * 4 + dir_between(side, w[0], w[1]),
+                            "segment mismatch at step {k} of {src}->{dst}"
+                        );
+                    }
+                }
+            }
+        }
     }
 
     #[test]
@@ -396,11 +502,23 @@ mod tests {
     fn segments_all_released_after_transfer() {
         let mut s = sim();
         for i in 0..20 {
-            s.inject(SimTime::ZERO, msg(i, (i % 16) as u32, ((i + 5) % 16) as u32, MsgClass::Data, 64));
+            s.inject(
+                SimTime::ZERO,
+                msg(
+                    i,
+                    (i % 16) as u32,
+                    ((i + 5) % 16) as u32,
+                    MsgClass::Data,
+                    64,
+                ),
+            );
         }
         let out = drain(&mut s);
         assert_eq!(out.len(), 20);
-        assert!(s.seg_busy.iter().all(|b| b.is_none()), "leaked segment reservation");
+        assert!(
+            s.seg_busy.iter().all(|b| b.is_none()),
+            "leaked segment reservation"
+        );
         assert!(s.seg_wait.iter().all(|w| w.is_empty()), "stranded waiter");
     }
 
@@ -486,7 +604,10 @@ mod tests {
         let end = s.drain(&mut out);
         let p = s.power_report(end);
         assert!(p.laser_mw > 0.0);
-        assert!(p.modulation_mw > 0.0, "dynamic power should reflect traffic");
+        assert!(
+            p.modulation_mw > 0.0,
+            "dynamic power should reflect traffic"
+        );
     }
 
     #[test]

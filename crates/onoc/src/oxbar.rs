@@ -16,10 +16,10 @@
 
 use crate::layout::Floorplan;
 use sctm_engine::event::EventQueue;
+use sctm_engine::msgtable::MsgTable;
 use sctm_engine::net::{Delivery, Message, NetStats, NetworkModel};
 use sctm_engine::time::{Freq, SimTime};
 use sctm_photonic::{ChannelPlan, DeviceKit, LinkBudget, PowerBreakdown};
-use std::collections::HashMap;
 
 /// Configuration of the MWSR crossbar.
 #[derive(Clone, Copy, Debug)]
@@ -91,7 +91,7 @@ enum Ev {
 pub struct OxbarSim {
     cfg: OxbarConfig,
     q: EventQueue<Ev>,
-    msgs: HashMap<u64, MsgState>,
+    msgs: MsgTable<MsgState>,
     channels: Vec<Channel>,
     stats: NetStats,
     optical_bits: u64,
@@ -104,7 +104,7 @@ impl OxbarSim {
         OxbarSim {
             cfg,
             q: EventQueue::new(),
-            msgs: HashMap::new(),
+            msgs: MsgTable::new(),
             channels: (0..n)
                 .map(|i| Channel {
                     free_at: SimTime::ZERO,
@@ -165,7 +165,7 @@ impl OxbarSim {
             .iter()
             .enumerate()
             .map(|(i, id)| {
-                let pos = self.msgs[id].msg.src.0 as u64;
+                let pos = self.msgs[*id].msg.src.0 as u64;
                 (i, self.token_arrival(ch, pos, now))
             })
             .min_by_key(|&(i, t)| (t, i))
@@ -180,7 +180,7 @@ impl OxbarSim {
         match ev {
             Ev::Request(id) => {
                 let (dst, src) = {
-                    let st = &self.msgs[&id];
+                    let st = &self.msgs[id];
                     (st.msg.dst, st.msg.src)
                 };
                 if dst == src {
@@ -210,7 +210,7 @@ impl OxbarSim {
             Ev::Grant(id) => {
                 // Validate against preemption: only the live pending
                 // grant commits; stale Grant events are ignored.
-                let Some(st) = self.msgs.get(&id) else { return };
+                let Some(st) = self.msgs.get(id) else { return };
                 let ch_idx = st.msg.dst.idx();
                 if self.channels[ch_idx].pending != Some((id, at)) {
                     return;
@@ -227,18 +227,17 @@ impl OxbarSim {
             }
             Ev::BurstEnd(id) => {
                 let (src, dst) = {
-                    let st = &self.msgs[&id];
+                    let st = &self.msgs[id];
                     (st.msg.src, st.msg.dst)
                 };
                 // Propagation from source to reader along the serpentine.
                 let dist_mm = self.cfg.floorplan.serpentine_distance_mm(src, dst);
                 let tof = SimTime::from_ps(self.cfg.kit.waveguide.tof_ps(dist_mm));
-                self.q
-                    .schedule(at + tof + self.ni_delay(), Ev::Deliver(id));
+                self.q.schedule(at + tof + self.ni_delay(), Ev::Deliver(id));
                 self.arbitrate(dst.idx(), at);
             }
             Ev::Deliver(id) => {
-                let st = self.msgs.remove(&id).expect("deliver for unknown msg");
+                let st = self.msgs.remove(id).expect("deliver for unknown msg");
                 let d = Delivery {
                     msg: st.msg,
                     injected_at: st.injected_at,
@@ -260,7 +259,13 @@ impl NetworkModel for OxbarSim {
         let at = at.max(self.q.now());
         self.stats.injected += 1;
         let id = msg.id.0;
-        let prev = self.msgs.insert(id, MsgState { msg, injected_at: at });
+        let prev = self.msgs.insert(
+            id,
+            MsgState {
+                msg,
+                injected_at: at,
+            },
+        );
         debug_assert!(prev.is_none(), "duplicate message id {id}");
         self.q.schedule(at + self.ni_delay(), Ev::Request(id));
     }
@@ -303,7 +308,11 @@ mod tests {
             id: MsgId(id),
             src: NodeId(src),
             dst: NodeId(dst),
-            class: if bytes > 16 { MsgClass::Data } else { MsgClass::Control },
+            class: if bytes > 16 {
+                MsgClass::Data
+            } else {
+                MsgClass::Control
+            },
             bytes,
         }
     }
@@ -382,8 +391,16 @@ mod tests {
         s.inject(SimTime::ZERO, msg(2, 6, 5, 256));
         let out = drain(&mut s);
         assert_eq!(out.len(), 2);
-        let t1 = out.iter().find(|d| d.msg.id == MsgId(1)).unwrap().delivered_at;
-        let t2 = out.iter().find(|d| d.msg.id == MsgId(2)).unwrap().delivered_at;
+        let t1 = out
+            .iter()
+            .find(|d| d.msg.id == MsgId(1))
+            .unwrap()
+            .delivered_at;
+        let t2 = out
+            .iter()
+            .find(|d| d.msg.id == MsgId(2))
+            .unwrap()
+            .delivered_at;
         assert!(t2 < t1, "positional round-robin violated: {t2} !< {t1}");
     }
 

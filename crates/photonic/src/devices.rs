@@ -115,18 +115,17 @@ pub struct Laser {
 
 impl Default for Laser {
     fn default() -> Self {
-        Laser { efficiency: 0.3, coupler_loss_db: 1.0 }
+        Laser {
+            efficiency: 0.3,
+            coupler_loss_db: 1.0,
+        }
     }
 }
 
 impl Laser {
     /// Electrical power (mW) needed so that `required_dbm_at_detector`
     /// arrives after `path_loss_db` of on-chip loss, per wavelength.
-    pub fn electrical_mw_per_lambda(
-        &self,
-        path_loss_db: Db,
-        required_dbm_at_detector: Dbm,
-    ) -> f64 {
+    pub fn electrical_mw_per_lambda(&self, path_loss_db: Db, required_dbm_at_detector: Dbm) -> f64 {
         let launch_dbm = required_dbm_at_detector + path_loss_db + self.coupler_loss_db;
         dbm_to_mw(launch_dbm) / self.efficiency
     }

@@ -18,7 +18,10 @@ pub struct ChannelPlan {
 
 impl Default for ChannelPlan {
     fn default() -> Self {
-        ChannelPlan { lambdas: 64, gbps_per_lambda: 10.0 }
+        ChannelPlan {
+            lambdas: 64,
+            gbps_per_lambda: 10.0,
+        }
     }
 }
 
@@ -70,7 +73,10 @@ mod tests {
 
     #[test]
     fn small_bursts_hit_slot_floor() {
-        let p = ChannelPlan { lambdas: 64, gbps_per_lambda: 10.0 };
+        let p = ChannelPlan {
+            lambdas: 64,
+            gbps_per_lambda: 10.0,
+        };
         // 1 byte = 8 bits over 640 Gb/s = 12.5 ps, below the 100 ps slot
         assert_eq!(p.burst_time(1).as_ps(), 100);
         assert_eq!(p.slot_ps(), 100);
@@ -78,8 +84,14 @@ mod tests {
 
     #[test]
     fn narrow_plan_is_slower() {
-        let wide = ChannelPlan { lambdas: 64, gbps_per_lambda: 10.0 };
-        let narrow = ChannelPlan { lambdas: 8, gbps_per_lambda: 10.0 };
+        let wide = ChannelPlan {
+            lambdas: 64,
+            gbps_per_lambda: 10.0,
+        };
+        let narrow = ChannelPlan {
+            lambdas: 8,
+            gbps_per_lambda: 10.0,
+        };
         assert!(narrow.burst_time(64) > wide.burst_time(64));
     }
 }

@@ -115,6 +115,22 @@ impl TraceLog {
     /// without protocol instrumentation: you can see what arrived at a
     /// node before it transmitted, but not *which* arrival caused what.
     pub fn arrival_gates(&self) -> Vec<Option<MsgId>> {
+        let mut gates = Vec::new();
+        self.arrival_gates_into(&mut gates, &mut Vec::new(), &mut Vec::new());
+        gates
+    }
+
+    /// [`TraceLog::arrival_gates`] writing into caller-owned buffers, so
+    /// a replay loop can recompute the gating every pass without
+    /// reallocating its event list (`2 × len` entries) each time.
+    /// `events` and `last_arrival` are pure scratch; all three buffers
+    /// are cleared and resized here.
+    pub fn arrival_gates_into(
+        &self,
+        gates: &mut Vec<Option<MsgId>>,
+        events: &mut Vec<(SimTime, bool, u64)>,
+        last_arrival: &mut Vec<Option<MsgId>>,
+    ) {
         let mut nodes: usize = 0;
         for r in &self.records {
             nodes = nodes.max(r.msg.src.idx() + 1).max(r.msg.dst.idx() + 1);
@@ -122,15 +138,20 @@ impl TraceLog {
         // Events per node: (time, is_departure, msg index), processed in
         // capture time order; ties put arrivals first so a departure at
         // the same instant sees the arrival.
-        let mut events: Vec<(SimTime, bool, u64)> = Vec::with_capacity(self.records.len() * 2);
+        events.clear();
+        events.reserve(self.records.len() * 2);
         for r in &self.records {
             events.push((r.t_inject, true, r.msg.id.0));
             events.push((r.t_deliver, false, r.msg.id.0));
         }
-        events.sort_by_key(|&(t, dep, id)| (t, dep, id));
-        let mut last_arrival: Vec<Option<MsgId>> = vec![None; nodes];
-        let mut gates = vec![None; self.records.len()];
-        for (_, is_dep, id) in events {
+        // Each (is_departure, id) pair occurs exactly once, so the full
+        // key is unique and the unstable sort is order-equivalent.
+        events.sort_unstable_by_key(|&(t, dep, id)| (t, dep, id));
+        last_arrival.clear();
+        last_arrival.resize(nodes, None);
+        gates.clear();
+        gates.resize(self.records.len(), None);
+        for &(_, is_dep, id) in events.iter() {
             let r = &self.records[id as usize];
             if is_dep {
                 gates[id as usize] = last_arrival[r.msg.src.idx()];
@@ -138,7 +159,6 @@ impl TraceLog {
                 last_arrival[r.msg.dst.idx()] = Some(MsgId(id));
             }
         }
-        gates
     }
 
     /// Message ids grouped by source node, in injection order.
@@ -149,7 +169,8 @@ impl TraceLog {
         }
         let mut order: Vec<Vec<MsgId>> = vec![Vec::new(); nodes];
         let mut idx: Vec<_> = (0..self.records.len()).collect();
-        idx.sort_by_key(|&i| (self.records[i].t_inject, i));
+        // (t_inject, i) is unique per record → unstable sort is exact.
+        idx.sort_unstable_by_key(|&i| (self.records[i].t_inject, i));
         for i in idx {
             order[self.records[i].msg.src.idx()].push(MsgId(i as u64));
         }

@@ -104,7 +104,9 @@ impl OnlineCorrected {
         shadow.drain(&mut self.shadow_buf);
         for d in &self.shadow_buf {
             let key = (d.msg.src.0, d.msg.dst.0, d.msg.class);
-            let e = obs.entry(key).or_insert_with(|| (Running::new(), Running::new()));
+            let e = obs
+                .entry(key)
+                .or_insert_with(|| (Running::new(), Running::new()));
             e.0.push(d.latency().as_ps() as f64);
             e.1.push(self.analytic.base_latency(&d.msg).as_ps() as f64);
         }
@@ -207,7 +209,10 @@ mod tests {
         // Several epochs of steady traffic on one pair.
         for e in 0..5u64 {
             for k in 0..20u64 {
-                net.inject(SimTime::from_us(e) + SimTime::from_ns(k * 40), msg(id, 0, 15));
+                net.inject(
+                    SimTime::from_us(e) + SimTime::from_ns(k * 40),
+                    msg(id, 0, 15),
+                );
                 id += 1;
             }
             net.advance_until(SimTime::from_us(e + 1), &mut out);
@@ -218,10 +223,9 @@ mod tests {
         // After correction, analytic latency for the pair approaches the
         // shadow's.
         let corrected = net.analytic.model_latency(&msg(999, 0, 15)).as_ps() as f64;
-        let shadow_like =
-            AnalyticNetwork::new(16, SimTime::from_ns(4), SimTime::from_ns(8), 20)
-                .model_latency(&msg(999, 0, 15))
-                .as_ps() as f64;
+        let shadow_like = AnalyticNetwork::new(16, SimTime::from_ns(4), SimTime::from_ns(8), 20)
+            .model_latency(&msg(999, 0, 15))
+            .as_ps() as f64;
         let err = (corrected - shadow_like).abs() / shadow_like;
         assert!(err < 0.25, "corrected latency still {err:.2} off");
     }
@@ -232,8 +236,14 @@ mod tests {
         let mut out = Vec::new();
         net.inject(SimTime::ZERO, msg(0, 0, 15));
         net.advance_until(SimTime::from_us(2), &mut out);
-        assert!(net.factors.get(&(3, 7, MsgClass::Data)).is_none());
-        assert!((net.analytic.correction(NodeId(3), NodeId(7), MsgClass::Data) - 1.0).abs() < 1e-9);
+        assert!(!net.factors.contains_key(&(3, 7, MsgClass::Data)));
+        assert!(
+            (net.analytic
+                .correction(NodeId(3), NodeId(7), MsgClass::Data)
+                - 1.0)
+                .abs()
+                < 1e-9
+        );
     }
 
     #[test]
@@ -251,7 +261,10 @@ mod tests {
         let mut net = setup(1);
         let mut out = Vec::new();
         for i in 0..50u64 {
-            net.inject(SimTime::from_ns(i * 100), msg(i, (i % 16) as u32, ((i + 3) % 16) as u32));
+            net.inject(
+                SimTime::from_ns(i * 100),
+                msg(i, (i % 16) as u32, ((i + 3) % 16) as u32),
+            );
         }
         net.drain(&mut out);
         assert_eq!(out.len(), 50);
@@ -274,7 +287,10 @@ mod tests {
                 }
             }
             net.advance_until(SimTime::from_us(4), &mut out);
-            net.factors.get(&(1, 9, MsgClass::Data)).copied().unwrap_or(1.0)
+            net.factors
+                .get(&(1, 9, MsgClass::Data))
+                .copied()
+                .unwrap_or(1.0)
         };
         let fine = run(1);
         let coarse = run(4);

@@ -30,10 +30,7 @@ impl TraceLog {
                 MsgClass::Control => "C",
                 MsgClass::Data => "D",
             };
-            let prev = r
-                .prev_same_src
-                .map(|p| p.0.to_string())
-                .unwrap_or_default();
+            let prev = r.prev_same_src.map(|p| p.0.to_string()).unwrap_or_default();
             let deps = r
                 .deps
                 .iter()
@@ -90,10 +87,15 @@ impl TraceLog {
             }
             let f: Vec<&str> = line.split(',').collect();
             if f.len() != 10 {
-                return Err(format!("line {}: expected 10 fields, got {}", ln + 3, f.len()));
+                return Err(format!(
+                    "line {}: expected 10 fields, got {}",
+                    ln + 3,
+                    f.len()
+                ));
             }
             let parse_u64 = |s: &str, what: &str| -> Result<u64, String> {
-                s.parse().map_err(|e| format!("line {}: bad {what}: {e}", ln + 3))
+                s.parse()
+                    .map_err(|e| format!("line {}: bad {what}: {e}", ln + 3))
             };
             let class = match f[3] {
                 "C" => MsgClass::Control,
@@ -276,6 +278,9 @@ mod tests {
         let mut n2 = mk();
         let r1 = replay_sctm_pass(&log, n1.as_mut());
         let r2 = replay_sctm_pass(&back, n2.as_mut());
-        assert_eq!(r1.deliver, r2.deliver, "roundtripped trace replays differently");
+        assert_eq!(
+            r1.deliver, r2.deliver,
+            "roundtripped trace replays differently"
+        );
     }
 }

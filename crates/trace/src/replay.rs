@@ -20,12 +20,21 @@
 //!    inside the simulator). This is the accuracy ceiling of any
 //!    trace-driven method and quantifies how much the gating heuristic
 //!    costs.
+//!
+//! Every engine has a `*_with` variant that borrows a [`ReplayScratch`]
+//! arena instead of allocating its working set: the outer
+//! self-correction loop replays the same-sized trace once per
+//! iteration, so one arena paid for up front serves every pass.
 
 use crate::log::TraceLog;
-use sctm_engine::net::{MsgClass, MsgId, NetworkModel};
+use sctm_engine::net::{Delivery, MsgClass, MsgId, NetworkModel};
 use sctm_engine::stats::Running;
 use sctm_engine::time::SimTime;
+use std::cmp::Reverse;
 use std::collections::BinaryHeap;
+
+/// Sentinel for "no predecessor/successor" in the dense index chains.
+const NONE: u32 = u32::MAX;
 
 /// Outcome of one replay pass.
 #[derive(Clone, Debug)]
@@ -41,11 +50,13 @@ pub struct ReplayResult {
 
 impl ReplayResult {
     fn from_times(log: &TraceLog, inject: Vec<SimTime>, deliver: Vec<SimTime>) -> Self {
-        let tail = log
-            .capture_exec_time
-            .saturating_since(log.last_delivery());
+        let tail = log.capture_exec_time.saturating_since(log.last_delivery());
         let last = deliver.iter().copied().max().unwrap_or(SimTime::ZERO);
-        ReplayResult { inject, deliver, est_exec_time: last + tail }
+        ReplayResult {
+            inject,
+            deliver,
+            est_exec_time: last + tail,
+        }
     }
 
     /// Mean message latency in nanoseconds for one class (or all).
@@ -53,31 +64,175 @@ impl ReplayResult {
         let mut acc = Running::new();
         for (i, r) in log.records.iter().enumerate() {
             if class.is_none() || class == Some(r.msg.class) {
-                acc.push(
-                    self.deliver[i]
-                        .saturating_since(self.inject[i])
-                        .as_ns_f64(),
-                );
+                acc.push(self.deliver[i].saturating_since(self.inject[i]).as_ns_f64());
             }
         }
         acc.mean()
     }
 }
 
-/// Run all messages through `net` at the given injection times.
-fn simulate(log: &TraceLog, net: &mut dyn NetworkModel, inject: &[SimTime]) -> Vec<SimTime> {
-    assert_eq!(inject.len(), log.len());
-    // Inject in time order so `inject`'s internal clamping never fires.
-    let mut order: Vec<usize> = (0..log.len()).collect();
-    order.sort_by_key(|&i| (inject[i], i));
-    for i in order {
-        net.inject(inject[i], log.records[i].msg);
+/// Reusable working set for the replay engines.
+///
+/// Every buffer a pass needs — deltas, readiness flags, the CSR
+/// dependency adjacency, the pending-injection heap, the delivery drain
+/// buffer, the arrival-gating scratch — lives here and is recycled
+/// between passes, so a loop that replays the same trace repeatedly
+/// (the self-correction loop in `sctm-core`, the convergence sweep in
+/// `sctm-bench`) allocates once instead of once per iteration. The
+/// cached injection `order` additionally lets [`replay_fixed_with`]
+/// skip its sort entirely on every iteration after the first.
+///
+/// A scratch is not tied to one trace: buffers are resized on entry to
+/// each pass, so one instance can serve logs of different sizes
+/// (capacity only ever grows).
+#[derive(Debug, Default)]
+pub struct ReplayScratch {
+    /// Cached injection order for [`replay_fixed_with`]'s `simulate`
+    /// (a permutation of `0..n`, validated before reuse).
+    order: Vec<u32>,
+    /// Capture-anchored local think time per message.
+    delta: Vec<SimTime>,
+    /// Oracle: max dependency delivery seen so far, per message.
+    ready_at: Vec<SimTime>,
+    /// Oracle: undelivered dependency count, per message.
+    remaining: Vec<u32>,
+    // CSR adjacency: `adj[adj_off[i]..adj_off[i + 1]]` are the messages
+    // unblocked by `i`'s delivery (dependency children for the oracle,
+    // gated departures for the gated pass). Replaces a `Vec<Vec<u32>>`
+    // whose n inner vectors dominated per-pass allocation.
+    adj_cnt: Vec<u32>,
+    adj_off: Vec<u32>,
+    adj: Vec<u32>,
+    /// Record indices sorted by `(t_inject, i)` (per-source chain build).
+    idx: Vec<u32>,
+    /// Most recent message per source node during the chain build.
+    src_last: Vec<u32>,
+    /// Per-source predecessor / successor chains ([`NONE`]-terminated).
+    prev_in_order: Vec<u32>,
+    next_in_order: Vec<u32>,
+    // Gated-pass readiness state.
+    gate_done: Vec<bool>,
+    gate_time: Vec<SimTime>,
+    prev_done: Vec<bool>,
+    prev_time: Vec<SimTime>,
+    scheduled: Vec<bool>,
+    /// Pending injections whose time is already known.
+    heap: BinaryHeap<Reverse<(SimTime, u32)>>,
+    /// Delivery drain buffer.
+    buf: Vec<Delivery>,
+    // Arrival-gating scratch (see `TraceLog::arrival_gates_into`).
+    gates: Vec<Option<MsgId>>,
+    events: Vec<(SimTime, bool, u64)>,
+    last_arrival: Vec<Option<MsgId>>,
+}
+
+impl ReplayScratch {
+    pub fn new() -> Self {
+        Self::default()
     }
-    let mut deliver = vec![SimTime::ZERO; log.len()];
-    let mut out = Vec::with_capacity(log.len());
-    net.drain(&mut out);
-    assert_eq!(out.len(), log.len(), "replay lost messages");
-    for d in out {
+
+    /// Build the CSR adjacency from per-record edge lists: `edges(i)`
+    /// yields the records whose delivery `i`'s entries unblock.
+    fn build_csr<I: Iterator<Item = u32>>(&mut self, n: usize, mut edges: impl FnMut(usize) -> I) {
+        self.adj_cnt.clear();
+        self.adj_cnt.resize(n, 0);
+        for i in 0..n {
+            for e in edges(i) {
+                self.adj_cnt[e as usize] += 1;
+            }
+        }
+        self.adj_off.clear();
+        self.adj_off.resize(n + 1, 0);
+        for i in 0..n {
+            self.adj_off[i + 1] = self.adj_off[i] + self.adj_cnt[i];
+        }
+        self.adj.clear();
+        self.adj.resize(self.adj_off[n] as usize, 0);
+        // Reuse adj_cnt as the per-row fill cursor. Iterating records in
+        // id order keeps each row ascending.
+        self.adj_cnt.fill(0);
+        for i in 0..n {
+            for e in edges(i) {
+                let e = e as usize;
+                self.adj[(self.adj_off[e] + self.adj_cnt[e]) as usize] = i as u32;
+                self.adj_cnt[e] += 1;
+            }
+        }
+    }
+
+    /// Fill `prev_in_order`/`next_in_order`: each message's neighbour in
+    /// its source node's time-sorted departure sequence (the chain
+    /// `TraceLog::per_source_order` returns as nested vectors, built
+    /// here without the per-node allocations).
+    fn build_source_chains(&mut self, log: &TraceLog) {
+        let n = log.len();
+        let mut idx = std::mem::take(&mut self.idx);
+        idx.clear();
+        idx.extend(0..n as u32);
+        // (t_inject, i) is unique per record, so unstable is safe.
+        idx.sort_unstable_by_key(|&i| (log.records[i as usize].t_inject, i));
+        let nodes = log
+            .records
+            .iter()
+            .map(|r| r.msg.src.idx() + 1)
+            .max()
+            .unwrap_or(0);
+        self.src_last.clear();
+        self.src_last.resize(nodes, NONE);
+        self.prev_in_order.clear();
+        self.prev_in_order.resize(n, NONE);
+        self.next_in_order.clear();
+        self.next_in_order.resize(n, NONE);
+        for &i in &idx {
+            let s = log.records[i as usize].msg.src.idx();
+            let p = self.src_last[s];
+            if p != NONE {
+                self.prev_in_order[i as usize] = p;
+                self.next_in_order[p as usize] = i;
+            }
+            self.src_last[s] = i;
+        }
+        self.idx = idx;
+    }
+}
+
+/// Run all messages through `net` at the given injection times.
+fn simulate(
+    log: &TraceLog,
+    net: &mut dyn NetworkModel,
+    inject: &[SimTime],
+    scratch: &mut ReplayScratch,
+) -> Vec<SimTime> {
+    assert_eq!(inject.len(), log.len());
+    let n = log.len();
+    // Inject in time order so `inject`'s internal clamping never fires.
+    // The canonical order under the total key `(inject[i], i)` is unique,
+    // so the cached order is reusable iff it is a strictly ascending
+    // permutation under that key — an O(n) check that hits every
+    // fixed-replay iteration after the first (same trace, same times).
+    let cached = scratch.order.len() == n
+        && scratch.order.iter().all(|&i| (i as usize) < n)
+        && scratch
+            .order
+            .windows(2)
+            .all(|w| (inject[w[0] as usize], w[0]) < (inject[w[1] as usize], w[1]));
+    if !cached {
+        scratch.order.clear();
+        scratch.order.extend(0..n as u32);
+        // Unique total key → unstable sort is order-equivalent.
+        scratch
+            .order
+            .sort_unstable_by_key(|&i| (inject[i as usize], i));
+    }
+    for &i in &scratch.order {
+        net.inject(inject[i as usize], log.records[i as usize].msg);
+    }
+    let mut deliver = vec![SimTime::ZERO; n];
+    scratch.buf.clear();
+    scratch.buf.reserve(n);
+    net.drain(&mut scratch.buf);
+    assert_eq!(scratch.buf.len(), n, "replay lost messages");
+    for d in scratch.buf.drain(..) {
         deliver[d.msg.id.0 as usize] = d.delivered_at;
     }
     deliver
@@ -85,8 +240,17 @@ fn simulate(log: &TraceLog, net: &mut dyn NetworkModel, inject: &[SimTime]) -> V
 
 /// Classic trace-driven replay: capture timestamps, verbatim.
 pub fn replay_fixed(log: &TraceLog, net: &mut dyn NetworkModel) -> ReplayResult {
+    replay_fixed_with(log, net, &mut ReplayScratch::new())
+}
+
+/// [`replay_fixed`] borrowing a reusable [`ReplayScratch`].
+pub fn replay_fixed_with(
+    log: &TraceLog,
+    net: &mut dyn NetworkModel,
+    scratch: &mut ReplayScratch,
+) -> ReplayResult {
     let inject: Vec<SimTime> = log.records.iter().map(|r| r.t_inject).collect();
-    let deliver = simulate(log, net, &inject);
+    let deliver = simulate(log, net, &inject, scratch);
     ReplayResult::from_times(log, inject, deliver)
 }
 
@@ -97,45 +261,54 @@ pub fn replay_fixed(log: &TraceLog, net: &mut dyn NetworkModel) -> ReplayResult 
 /// local processing delay. Dependency-free messages keep their capture
 /// times (their timing is network-independent by construction).
 pub fn replay_oracle(log: &TraceLog, net: &mut dyn NetworkModel) -> ReplayResult {
+    replay_oracle_with(log, net, &mut ReplayScratch::new())
+}
+
+/// [`replay_oracle`] borrowing a reusable [`ReplayScratch`].
+pub fn replay_oracle_with(
+    log: &TraceLog,
+    net: &mut dyn NetworkModel,
+    scratch: &mut ReplayScratch,
+) -> ReplayResult {
     let n = log.len();
-    // delta and reverse edges
-    let mut delta = vec![SimTime::ZERO; n];
-    let mut children: Vec<Vec<u32>> = vec![Vec::new(); n];
-    let mut remaining = vec![0u32; n];
+    // delta, dependency counts, and the delivery→children adjacency
+    scratch.delta.clear();
+    scratch.delta.resize(n, SimTime::ZERO);
+    scratch.remaining.clear();
+    scratch.remaining.resize(n, 0);
     for (i, r) in log.records.iter().enumerate() {
         if r.deps.is_empty() {
-            delta[i] = r.t_inject;
+            scratch.delta[i] = r.t_inject;
         } else {
             let enable = r.deps.iter().map(|d| log.rec(*d).t_deliver).max().unwrap();
-            delta[i] = r.t_inject.saturating_since(enable);
-            remaining[i] = r.deps.len() as u32;
-            for d in &r.deps {
-                children[d.0 as usize].push(i as u32);
-            }
+            scratch.delta[i] = r.t_inject.saturating_since(enable);
+            scratch.remaining[i] = r.deps.len() as u32;
         }
     }
+    scratch.build_csr(n, |i| log.records[i].deps.iter().map(|d| d.0 as u32));
     let mut inject = vec![SimTime::MAX; n];
-    let mut ready_at = vec![SimTime::ZERO; n]; // max dep delivery so far
-    // Pending injections we already know the time of, not yet injected.
-    let mut heap: BinaryHeap<std::cmp::Reverse<(SimTime, u32)>> = BinaryHeap::new();
+    scratch.ready_at.clear();
+    scratch.ready_at.resize(n, SimTime::ZERO); // max dep delivery so far
+                                               // Pending injections we already know the time of, not yet injected.
+    scratch.heap.clear();
     for (i, r) in log.records.iter().enumerate() {
         if r.deps.is_empty() {
-            heap.push(std::cmp::Reverse((delta[i], i as u32)));
+            scratch.heap.push(Reverse((scratch.delta[i], i as u32)));
         }
     }
     let mut deliver = vec![SimTime::ZERO; n];
     let mut delivered = 0usize;
-    let mut buf = Vec::new();
+    let mut buf = std::mem::take(&mut scratch.buf);
     while delivered < n {
         // Inject every pending message that is due at or before the
         // network's next internal event (its network effects may precede
         // that event); with an idle network, inject the earliest one to
         // re-arm it.
-        while let Some(&std::cmp::Reverse((t, i))) = heap.peek() {
+        while let Some(&Reverse((t, i))) = scratch.heap.peek() {
             match net.next_time() {
                 Some(h) if t > h => break,
                 _ => {
-                    heap.pop();
+                    scratch.heap.pop();
                     inject[i as usize] = t;
                     net.inject(t, log.records[i as usize].msg);
                 }
@@ -150,16 +323,19 @@ pub fn replay_oracle(log: &TraceLog, net: &mut dyn NetworkModel) -> ReplayResult
             let id = d.msg.id.0 as usize;
             deliver[id] = d.delivered_at;
             delivered += 1;
-            for &c in &children[id] {
-                let c = c as usize;
-                ready_at[c] = ready_at[c].max(d.delivered_at);
-                remaining[c] -= 1;
-                if remaining[c] == 0 {
-                    heap.push(std::cmp::Reverse((ready_at[c] + delta[c], c as u32)));
+            for e in scratch.adj_off[id]..scratch.adj_off[id + 1] {
+                let c = scratch.adj[e as usize] as usize;
+                scratch.ready_at[c] = scratch.ready_at[c].max(d.delivered_at);
+                scratch.remaining[c] -= 1;
+                if scratch.remaining[c] == 0 {
+                    scratch
+                        .heap
+                        .push(Reverse((scratch.ready_at[c] + scratch.delta[c], c as u32)));
                 }
             }
         }
     }
+    scratch.buf = buf;
     ReplayResult::from_times(log, inject, deliver)
 }
 
@@ -179,8 +355,16 @@ pub fn replay_oracle(log: &TraceLog, net: &mut dyn NetworkModel) -> ReplayResult
 /// in `sctm-core` attacks by correcting the capture model itself and
 /// re-capturing.
 pub fn replay_sctm_pass(log: &TraceLog, net: &mut dyn NetworkModel) -> ReplayResult {
-    let gates = log.arrival_gates();
-    gated_pass(log, net, &gates, false)
+    replay_sctm_pass_with(log, net, &mut ReplayScratch::new())
+}
+
+/// [`replay_sctm_pass`] borrowing a reusable [`ReplayScratch`].
+pub fn replay_sctm_pass_with(
+    log: &TraceLog,
+    net: &mut dyn NetworkModel,
+    scratch: &mut ReplayScratch,
+) -> ReplayResult {
+    gated_pass_with(log, net, false, scratch)
 }
 
 /// Ablation variant of [`replay_sctm_pass`] that *enforces per-source
@@ -190,117 +374,123 @@ pub fn replay_sctm_pass(log: &TraceLog, net: &mut dyn NetworkModel) -> ReplayRes
 /// ordering constraint inflates the timeline. Kept for the ablation
 /// bench (A1).
 pub fn replay_sctm_pass_ordered(log: &TraceLog, net: &mut dyn NetworkModel) -> ReplayResult {
-    let gates = log.arrival_gates();
-    gated_pass(log, net, &gates, true)
+    replay_sctm_pass_ordered_with(log, net, &mut ReplayScratch::new())
 }
 
-/// The gated event-driven pass over an explicit gate assignment.
-fn gated_pass(
+/// [`replay_sctm_pass_ordered`] borrowing a reusable [`ReplayScratch`].
+pub fn replay_sctm_pass_ordered_with(
     log: &TraceLog,
     net: &mut dyn NetworkModel,
-    gates: &[Option<MsgId>],
+    scratch: &mut ReplayScratch,
+) -> ReplayResult {
+    gated_pass_with(log, net, true, scratch)
+}
+
+/// The gated event-driven pass; gates are recomputed into (and the
+/// working set borrowed from) `scratch`.
+fn gated_pass_with(
+    log: &TraceLog,
+    net: &mut dyn NetworkModel,
     enforce_source_order: bool,
+    scratch: &mut ReplayScratch,
 ) -> ReplayResult {
     let n = log.len();
-    let order = log.per_source_order();
+    // Arrival gating, into the scratch buffers (temporarily moved out so
+    // the rest of the scratch stays borrowable).
+    let mut gates = std::mem::take(&mut scratch.gates);
+    let mut events = std::mem::take(&mut scratch.events);
+    let mut last_arrival = std::mem::take(&mut scratch.last_arrival);
+    log.arrival_gates_into(&mut gates, &mut events, &mut last_arrival);
+    scratch.events = events;
+    scratch.last_arrival = last_arrival;
 
-    // Per-source predecessors and capture injection gaps.
-    let mut prev_in_order: Vec<Option<u32>> = vec![None; n];
-    for seq in &order {
-        for w in seq.windows(2) {
-            prev_in_order[w[1].0 as usize] = Some(w[0].0 as u32);
-        }
-    }
+    // Per-source predecessor/successor chains and capture injection gaps.
+    scratch.build_source_chains(log);
     // Capture-anchored deltas: local time between the gating delivery
     // (or the previous departure, for gate-less messages) and this
     // departure, measured on the capture timeline.
-    let mut delta = vec![SimTime::ZERO; n];
+    scratch.delta.clear();
+    scratch.delta.resize(n, SimTime::ZERO);
     for (i, r) in log.records.iter().enumerate() {
         let anchor = match gates[i] {
             Some(g) => log.rec(g).t_deliver,
-            None => prev_in_order[i]
-                .map(|p| log.records[p as usize].t_inject)
-                .unwrap_or(SimTime::ZERO),
+            None => match scratch.prev_in_order[i] {
+                NONE => SimTime::ZERO,
+                p => log.records[p as usize].t_inject,
+            },
         };
-        delta[i] = r.t_inject.saturating_since(anchor);
+        scratch.delta[i] = r.t_inject.saturating_since(anchor);
     }
 
     // Readiness: a message needs its gate delivered (if any) and its
     // per-source predecessor injected (if any).
-    let mut gate_done = vec![false; n];
-    let mut gate_time = vec![SimTime::ZERO; n];
-    let mut prev_done = vec![false; n];
-    let mut prev_time = vec![SimTime::ZERO; n];
+    scratch.gate_done.clear();
+    scratch.gate_done.resize(n, false);
+    scratch.gate_time.clear();
+    scratch.gate_time.resize(n, SimTime::ZERO);
+    scratch.prev_done.clear();
+    scratch.prev_done.resize(n, false);
+    scratch.prev_time.clear();
+    scratch.prev_time.resize(n, SimTime::ZERO);
     // Reverse index: gate -> dependants.
-    let mut gated_by: Vec<Vec<u32>> = vec![Vec::new(); n];
+    scratch.build_csr(n, |i| gates[i].iter().map(|g| g.0 as u32));
     for (i, g) in gates.iter().enumerate() {
-        match g {
-            Some(g) => gated_by[g.0 as usize].push(i as u32),
-            None => {
-                gate_done[i] = true;
-            }
+        if g.is_none() {
+            scratch.gate_done[i] = true;
         }
     }
-    for (i, p) in prev_in_order.iter().enumerate() {
+    for i in 0..n {
         // Gated messages do not wait on their per-source predecessor:
         // a node's departures may legitimately reorder when the target
         // network's latency profile differs from capture (e.g. a hybrid
         // optical design where control and data planes diverge), and
         // forcing capture order inflates the timeline measurably.
-        if p.is_none() || (!enforce_source_order && !gate_done[i]) {
-            prev_done[i] = true;
-        }
-    }
-    // Successor in per-source order, to propagate injection readiness.
-    let mut next_in_order: Vec<Option<u32>> = vec![None; n];
-    for (i, p) in prev_in_order.iter().enumerate() {
-        if let Some(p) = *p {
-            next_in_order[p as usize] = Some(i as u32);
+        if scratch.prev_in_order[i] == NONE || (!enforce_source_order && !scratch.gate_done[i]) {
+            scratch.prev_done[i] = true;
         }
     }
 
     let mut inject = vec![SimTime::MAX; n];
     let mut deliver = vec![SimTime::ZERO; n];
-    let mut scheduled = vec![false; n];
-    let mut heap: BinaryHeap<std::cmp::Reverse<(SimTime, u32)>> = BinaryHeap::new();
+    scratch.scheduled.clear();
+    scratch.scheduled.resize(n, false);
+    scratch.heap.clear();
 
-    // Seed: messages with no gate and no predecessor.
-    let mut seed_ready: Vec<u32> = (0..n as u32)
-        .filter(|&i| gate_done[i as usize] && prev_done[i as usize])
-        .collect();
-    seed_ready.sort_unstable();
-    for i in seed_ready {
-        let t = delta[i as usize];
-        scheduled[i as usize] = true;
-        heap.push(std::cmp::Reverse((t, i)));
+    // Seed: messages with no gate and no predecessor, in id order.
+    for i in 0..n {
+        if scratch.gate_done[i] && scratch.prev_done[i] {
+            scratch.scheduled[i] = true;
+            scratch.heap.push(Reverse((scratch.delta[i], i as u32)));
+        }
     }
 
     let mut delivered = 0usize;
-    let mut buf = Vec::new();
+    let mut buf = std::mem::take(&mut scratch.buf);
     while delivered < n {
-        while let Some(&std::cmp::Reverse((t, i))) = heap.peek() {
+        while let Some(&Reverse((t, i))) = scratch.heap.peek() {
             match net.next_time() {
                 Some(h) if t > h => break,
                 _ => {
-                    heap.pop();
+                    scratch.heap.pop();
                     let i = i as usize;
                     inject[i] = t;
                     net.inject(t, log.records[i].msg);
                     // Unblock the per-source successor (only gate-less
                     // successors wait on their predecessor).
-                    if let Some(nx) = next_in_order[i] {
+                    let nx = scratch.next_in_order[i];
+                    if nx != NONE {
                         let nx = nx as usize;
-                        prev_done[nx] = true;
-                        prev_time[nx] = t;
-                        if gate_done[nx] && !scheduled[nx] {
+                        scratch.prev_done[nx] = true;
+                        scratch.prev_time[nx] = t;
+                        if scratch.gate_done[nx] && !scratch.scheduled[nx] {
                             let base = if gates[nx].is_some() {
-                                gate_time[nx]
+                                scratch.gate_time[nx]
                             } else {
-                                prev_time[nx]
+                                scratch.prev_time[nx]
                             };
-                            let t = (base + delta[nx]).max(prev_time[nx]);
-                            scheduled[nx] = true;
-                            heap.push(std::cmp::Reverse((t, nx as u32)));
+                            let t = (base + scratch.delta[nx]).max(scratch.prev_time[nx]);
+                            scratch.scheduled[nx] = true;
+                            scratch.heap.push(Reverse((t, nx as u32)));
                         }
                     }
                 }
@@ -315,18 +505,20 @@ fn gated_pass(
             let id = d.msg.id.0 as usize;
             deliver[id] = d.delivered_at;
             delivered += 1;
-            for &g in &gated_by[id] {
-                let g = g as usize;
-                gate_done[g] = true;
-                gate_time[g] = d.delivered_at;
-                if prev_done[g] && !scheduled[g] {
-                    let t = (gate_time[g] + delta[g]).max(prev_time[g]);
-                    scheduled[g] = true;
-                    heap.push(std::cmp::Reverse((t, g as u32)));
+            for e in scratch.adj_off[id]..scratch.adj_off[id + 1] {
+                let g = scratch.adj[e as usize] as usize;
+                scratch.gate_done[g] = true;
+                scratch.gate_time[g] = d.delivered_at;
+                if scratch.prev_done[g] && !scratch.scheduled[g] {
+                    let t = (scratch.gate_time[g] + scratch.delta[g]).max(scratch.prev_time[g]);
+                    scratch.scheduled[g] = true;
+                    scratch.heap.push(Reverse((t, g as u32)));
                 }
             }
         }
     }
+    scratch.buf = buf;
+    scratch.gates = gates;
     ReplayResult::from_times(log, inject, deliver)
 }
 
@@ -340,33 +532,51 @@ fn gated_pass(
 ///
 /// These are what the outer self-correction loop feeds back into the
 /// capture model before re-capturing.
+///
+/// Aggregation is sort-then-group over a flat row vector rather than a
+/// hash map: the per-record key carries the record index, so the sort
+/// key is a unique total order (unstable sort is exact) and each group
+/// accumulates its sums in record order — bit-identical to the hashed
+/// version, without per-record hashing or rehash growth.
 pub fn pair_corrections(
     log: &TraceLog,
     result: &ReplayResult,
     mut base_latency: impl FnMut(&sctm_engine::net::Message) -> SimTime,
 ) -> Vec<((u32, u32, MsgClass), f64)> {
-    use std::collections::HashMap;
-    let mut acc: HashMap<(u32, u32, u8), (f64, f64)> = HashMap::new();
-    for (i, r) in log.records.iter().enumerate() {
-        let lat = result.deliver[i].saturating_since(result.inject[i]).as_ps() as f64;
-        let base = base_latency(&r.msg).as_ps() as f64;
-        let c = match r.msg.class {
-            MsgClass::Control => 0u8,
-            MsgClass::Data => 1,
-        };
-        let e = acc.entry((r.msg.src.0, r.msg.dst.0, c)).or_insert((0.0, 0.0));
-        e.0 += lat;
-        e.1 += base;
-    }
-    let mut out: Vec<((u32, u32, MsgClass), f64)> = acc
-        .into_iter()
-        .filter(|(_, (_, base))| *base > 0.0)
-        .map(|((s, d, c), (lat, base))| {
-            let class = if c == 0 { MsgClass::Control } else { MsgClass::Data };
-            ((s, d, class), lat / base)
+    let mut rows: Vec<(u32, u32, u8, u32)> = log
+        .records
+        .iter()
+        .enumerate()
+        .map(|(i, r)| {
+            let c = match r.msg.class {
+                MsgClass::Control => 0u8,
+                MsgClass::Data => 1,
+            };
+            (r.msg.src.0, r.msg.dst.0, c, i as u32)
         })
         .collect();
-    out.sort_by_key(|&((s, d, c), _)| (s, d, c == MsgClass::Data));
+    rows.sort_unstable();
+    let mut out: Vec<((u32, u32, MsgClass), f64)> = Vec::new();
+    let mut k = 0;
+    while k < rows.len() {
+        let (s, d, c, _) = rows[k];
+        let (mut lat, mut base) = (0.0f64, 0.0f64);
+        while k < rows.len() && (rows[k].0, rows[k].1, rows[k].2) == (s, d, c) {
+            let i = rows[k].3 as usize;
+            lat += result.deliver[i].saturating_since(result.inject[i]).as_ps() as f64;
+            base += base_latency(&log.records[i].msg).as_ps() as f64;
+            k += 1;
+        }
+        if base > 0.0 {
+            let class = if c == 0 {
+                MsgClass::Control
+            } else {
+                MsgClass::Data
+            };
+            out.push(((s, d, class), lat / base));
+        }
+    }
+    // Groups emerge sorted by (src, dst, Control-before-Data) already.
     out
 }
 
@@ -384,31 +594,37 @@ pub fn pair_corrections(
 pub fn dst_service_estimates(log: &TraceLog, result: &ReplayResult) -> Vec<(u32, u64)> {
     const MIN_SAMPLES: usize = 48;
     const SATURATION_THRESHOLD_PS_PER_BYTE: f64 = 60.0;
-    use std::collections::HashMap;
-    let mut per_dst: HashMap<u32, Vec<(SimTime, u32)>> = HashMap::new();
-    for (i, r) in log.records.iter().enumerate() {
-        per_dst
-            .entry(r.msg.dst.0)
-            .or_default()
-            .push((result.deliver[i], r.msg.bytes.max(1)));
-    }
+    // Flat sort-then-group (by destination, then delivery time; the
+    // byte count breaks simultaneous-delivery ties deterministically)
+    // instead of a map of per-destination vectors.
+    let mut rows: Vec<(u32, SimTime, u32)> = log
+        .records
+        .iter()
+        .enumerate()
+        .map(|(i, r)| (r.msg.dst.0, result.deliver[i], r.msg.bytes.max(1)))
+        .collect();
+    rows.sort_unstable();
     let mut out = Vec::new();
-    for (dst, mut dl) in per_dst {
+    let mut gaps_per_byte: Vec<f64> = Vec::new();
+    let mut k = 0;
+    while k < rows.len() {
+        let dst = rows[k].0;
+        let start = k;
+        while k < rows.len() && rows[k].0 == dst {
+            k += 1;
+        }
+        let dl = &rows[start..k];
         if dl.len() < MIN_SAMPLES {
             continue;
         }
-        dl.sort_unstable_by_key(|&(t, _)| t);
-        let mut gaps_per_byte: Vec<f64> = dl
-            .windows(2)
-            .filter_map(|w| {
-                let gap = w[1].0.saturating_since(w[0].0).as_ps();
-                if gap == 0 {
-                    None // simultaneous deliveries carry no rate signal
-                } else {
-                    Some(gap as f64 / w[1].1 as f64)
-                }
-            })
-            .collect();
+        gaps_per_byte.clear();
+        for w in dl.windows(2) {
+            let gap = w[1].1.saturating_since(w[0].1).as_ps();
+            // Simultaneous deliveries carry no rate signal.
+            if gap != 0 {
+                gaps_per_byte.push(gap as f64 / w[1].2 as f64);
+            }
+        }
         if gaps_per_byte.len() < MIN_SAMPLES / 2 {
             continue;
         }
@@ -418,7 +634,7 @@ pub fn dst_service_estimates(log: &TraceLog, result: &ReplayResult) -> Vec<(u32,
             out.push((dst, p25.round() as u64));
         }
     }
-    out.sort_unstable();
+    // Groups emerge in ascending destination order already.
     out
 }
 
@@ -501,6 +717,64 @@ mod tests {
         }
     }
 
+    /// A shared scratch must be invisible in the results: run every
+    /// engine twice through one arena (dirty on the second pass) and
+    /// against the fresh-allocation wrappers.
+    #[test]
+    fn scratch_reuse_is_bit_identical() {
+        let log = capture_fft(16);
+        let mut scratch = ReplayScratch::new();
+        type Engine = (
+            &'static str,
+            fn(&TraceLog, &mut dyn NetworkModel) -> ReplayResult,
+            fn(&TraceLog, &mut dyn NetworkModel, &mut ReplayScratch) -> ReplayResult,
+        );
+        let engines: [Engine; 4] = [
+            ("fixed", replay_fixed, replay_fixed_with),
+            ("oracle", replay_oracle, replay_oracle_with),
+            ("sctm", replay_sctm_pass, replay_sctm_pass_with),
+            (
+                "ordered",
+                replay_sctm_pass_ordered,
+                replay_sctm_pass_ordered_with,
+            ),
+        ];
+        for (name, fresh, with) in engines {
+            let mut net = analytic(16, 6);
+            let a = fresh(&log, net.as_mut());
+            for round in 0..2 {
+                let mut net = analytic(16, 6);
+                let b = with(&log, net.as_mut(), &mut scratch);
+                assert_eq!(a.inject, b.inject, "{name} inject diverged (round {round})");
+                assert_eq!(
+                    a.deliver, b.deliver,
+                    "{name} deliver diverged (round {round})"
+                );
+                assert_eq!(a.est_exec_time, b.est_exec_time, "{name} est diverged");
+            }
+        }
+    }
+
+    /// One arena must also serve logs of different sizes back to back.
+    #[test]
+    fn scratch_survives_log_size_changes() {
+        let big = capture_fft(16);
+        let small = capture_fft(4);
+        let mut scratch = ReplayScratch::new();
+        for (log, cores) in [(&big, 16), (&small, 4), (&big, 16)] {
+            let mut net = analytic(cores, 2);
+            let r = replay_sctm_pass_with(log, net.as_mut(), &mut scratch);
+            for (i, rec) in log.records.iter().enumerate() {
+                assert_eq!(
+                    r.deliver[i],
+                    rec.t_deliver,
+                    "msg {i} diverged ({} msgs)",
+                    log.len()
+                );
+            }
+        }
+    }
+
     #[test]
     fn oracle_tracks_slower_target_network() {
         // Replaying on a 3x slower network must stretch the timeline;
@@ -576,6 +850,13 @@ mod tests {
         );
         // All factors positive and finite.
         assert!(corr.iter().all(|(_, f)| f.is_finite() && *f > 0.0));
+        // Output is sorted by (src, dst, Control-before-Data) with
+        // unique keys — the contract the correction installer relies on.
+        let keys: Vec<_> = corr
+            .iter()
+            .map(|&((s, d, c), _)| (s, d, c == MsgClass::Data))
+            .collect();
+        assert!(keys.windows(2).all(|w| w[0] < w[1]), "corrections unsorted");
     }
 
     #[test]

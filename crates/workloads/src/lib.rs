@@ -90,7 +90,11 @@ impl WorkloadParams {
     pub fn new(cores: usize, ops_per_core: usize, seed: u64) -> Self {
         assert!(cores.is_power_of_two(), "kernels want power-of-two cores");
         assert!(ops_per_core >= 64, "scripts shorter than 64 ops are noise");
-        WorkloadParams { cores, ops_per_core, seed }
+        WorkloadParams {
+            cores,
+            ops_per_core,
+            seed,
+        }
     }
 }
 
@@ -161,7 +165,6 @@ fn gen_fft(p: WorkloadParams) -> Vec<Vec<Op>> {
     let stages = p.cores.trailing_zeros().max(1) as usize;
     let block = fft_block(&p);
     let mut out = vec![Vec::new(); p.cores];
-    let mut bar = 0u32;
     for s in 0..stages {
         for (core, ops) in out.iter_mut().enumerate() {
             let partner = core ^ (1usize << s);
@@ -172,9 +175,8 @@ fn gen_fft(p: WorkloadParams) -> Vec<Vec<Op>> {
             }
         }
         for ops in out.iter_mut() {
-            ops.push(Op::Barrier(bar));
+            ops.push(Op::Barrier(s as u32));
         }
-        bar += 1;
     }
     out
 }
@@ -248,8 +250,7 @@ fn gen_barnes(p: WorkloadParams) -> Vec<Vec<Op>> {
     let zipf = Zipf::new(tree_lines as usize);
     let root = StreamRng::new(p.seed);
     let mut out = vec![Vec::new(); p.cores];
-    let mut bar = 0u32;
-    for _t in 0..timesteps {
+    for bar in 0..timesteps as u32 {
         for (core, ops) in out.iter_mut().enumerate() {
             let mut rng = root.stream("barnes", ((core as u64) << 8) | bar as u64);
             let walks = per_step / 5;
@@ -267,7 +268,6 @@ fn gen_barnes(p: WorkloadParams) -> Vec<Vec<Op>> {
         for ops in out.iter_mut() {
             ops.push(Op::Barrier(bar));
         }
-        bar += 1;
     }
     out
 }

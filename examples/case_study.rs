@@ -31,7 +31,14 @@ fn main() {
 
     let mut t = Table::new(
         format!("Case study: {} on {} cores", kernel.label(), side * side),
-        &["simulator", "network", "exec time", "data lat (ns)", "exec err %", "wall (ms)"],
+        &[
+            "simulator",
+            "network",
+            "exec time",
+            "data lat (ns)",
+            "exec err %",
+            "wall (ms)",
+        ],
     );
     for (name, r) in [
         ("execution-driven ONoC (reference)", &reference),

@@ -6,6 +6,7 @@
 //! cargo run --release --example design_sweep
 //! ```
 
+use sctm::engine::par::par_map;
 use sctm::engine::table::{fnum, Table};
 use sctm::onoc::{ObusConfig, OmeshConfig, OxbarConfig};
 use sctm::workloads::Kernel;
@@ -17,16 +18,39 @@ fn main() {
 
     let mut perf = Table::new(
         format!("Execution time by interconnect ({} cores)", side * side),
-        &["application", "emesh", "omesh", "oxbar", "hybrid", "obus", "best"],
+        &[
+            "application",
+            "emesh",
+            "omesh",
+            "oxbar",
+            "hybrid",
+            "obus",
+            "best",
+        ],
     );
-    for kernel in Kernel::ALL {
+    // The whole kernel × interconnect grid runs on the deterministic
+    // parallel executor — each cell is an independent simulation, and
+    // results come back in input order, so the table is identical to a
+    // serial sweep at any thread count.
+    let jobs: Vec<_> = Kernel::ALL
+        .iter()
+        .flat_map(|&kernel| {
+            NetworkKind::DETAILED.iter().map(move |&kind| {
+                move || {
+                    Experiment::new(SystemConfig::new(side, kind), kernel)
+                        .with_ops(ops)
+                        .run(Mode::ExecutionDriven)
+                }
+            })
+        })
+        .collect();
+    let results = par_map(jobs);
+    let width = NetworkKind::DETAILED.len();
+    for (ki, kernel) in Kernel::ALL.iter().enumerate() {
         let mut cells = vec![kernel.label().to_string()];
         let mut best = ("", f64::INFINITY);
-        for kind in NetworkKind::DETAILED {
-            let r = Experiment::new(SystemConfig::new(side, kind), kernel)
-                .with_ops(ops)
-                .run(Mode::ExecutionDriven);
-            let us = r.exec_time.as_us_f64();
+        for (ni, kind) in NetworkKind::DETAILED.iter().enumerate() {
+            let us = results[ki * width + ni].exec_time.as_us_f64();
             if us < best.1 {
                 best = (kind.label(), us);
             }
@@ -40,7 +64,12 @@ fn main() {
     // The other axis of the trade-off: static optical power.
     let mut power = Table::new(
         "Optical power at 10% utilisation",
-        &["architecture", "worst loss (dB)", "total power (mW)", "pJ/bit"],
+        &[
+            "architecture",
+            "worst loss (dB)",
+            "total power (mW)",
+            "pJ/bit",
+        ],
     );
     for (name, budget) in [
         ("photonic mesh", OmeshConfig::new(side).budget()),

@@ -12,8 +12,7 @@ use sctm::workloads::Kernel;
 use sctm::{accuracy, Experiment, Mode, NetworkKind, SystemConfig};
 
 fn main() {
-    let exp = Experiment::new(SystemConfig::new(4, NetworkKind::Omesh), Kernel::Fft)
-        .with_ops(600);
+    let exp = Experiment::new(SystemConfig::new(4, NetworkKind::Omesh), Kernel::Fft).with_ops(600);
 
     eprintln!("running the execution-driven reference...");
     let reference = exp.run(Mode::ExecutionDriven);
@@ -23,7 +22,9 @@ fn main() {
         &["epoch", "exec time", "err %", "wall (ms)"],
     );
     for epoch_us in [1u64, 2, 5, 10, 20] {
-        let r = exp.run(Mode::Online { epoch: SimTime::from_us(epoch_us) });
+        let r = exp.run(Mode::Online {
+            epoch: SimTime::from_us(epoch_us),
+        });
         t.row(&[
             format!("{epoch_us} us"),
             r.exec_time.to_string(),

@@ -5,8 +5,8 @@
 //! cargo run --release --example quickstart
 //! ```
 
-use sctm::{accuracy, Experiment, Mode, NetworkKind, SystemConfig};
 use sctm::workloads::Kernel;
+use sctm::{accuracy, Experiment, Mode, NetworkKind, SystemConfig};
 
 fn main() {
     // A 16-core tiled CMP whose interconnect is the circuit-switched

@@ -12,8 +12,8 @@ use sctm::workloads::Kernel;
 use sctm::{Experiment, NetworkKind, SystemConfig};
 
 fn main() {
-    let exp = Experiment::new(SystemConfig::new(4, NetworkKind::Omesh), Kernel::Barnes)
-        .with_ops(500);
+    let exp =
+        Experiment::new(SystemConfig::new(4, NetworkKind::Omesh), Kernel::Barnes).with_ops(500);
 
     // 1. One full-system capture on the analytic model...
     eprintln!("capturing...");
@@ -30,7 +30,11 @@ fn main() {
     let path = std::env::temp_dir().join("sctm_barnes_16c.trace.csv");
     log.save(&path).expect("save trace");
     let bytes = std::fs::metadata(&path).map(|m| m.len()).unwrap_or(0);
-    eprintln!("saved to {} ({:.1} MiB)", path.display(), bytes as f64 / (1 << 20) as f64);
+    eprintln!(
+        "saved to {} ({:.1} MiB)",
+        path.display(),
+        bytes as f64 / (1 << 20) as f64
+    );
 
     // 3. ...reloaded (possibly by another process, days later)...
     let log = TraceLog::load(&path).expect("load trace");
@@ -38,7 +42,12 @@ fn main() {
     // 4. ...and replayed against every detailed interconnect.
     let mut t = Table::new(
         "One capture, five targets (self-correcting replay)",
-        &["target", "est exec time", "mean data lat (ns)", "replay wall (ms)"],
+        &[
+            "target",
+            "est exec time",
+            "mean data lat (ns)",
+            "replay wall (ms)",
+        ],
     );
     for kind in NetworkKind::DETAILED {
         let t0 = std::time::Instant::now();

@@ -21,7 +21,13 @@ fn every_kernel_runs_on_every_network() {
                 kind.label(),
                 r.exec_time
             );
-            assert!(r.messages > 500, "{}/{}: {} messages", kernel.label(), kind.label(), r.messages);
+            assert!(
+                r.messages > 500,
+                "{}/{}: {} messages",
+                kernel.label(),
+                kind.label(),
+                r.messages
+            );
             assert!(r.mean_lat_data_ns > 0.0);
         }
     }
@@ -43,7 +49,12 @@ fn network_choice_changes_the_answer() {
     // The whole point of ONoC simulation: interconnects disagree.
     let times: Vec<u64> = NetworkKind::DETAILED
         .iter()
-        .map(|&k| exp(k, Kernel::Fft).run(Mode::ExecutionDriven).exec_time.as_ps())
+        .map(|&k| {
+            exp(k, Kernel::Fft)
+                .run(Mode::ExecutionDriven)
+                .exec_time
+                .as_ps()
+        })
         .collect();
     assert!(
         times.windows(2).any(|w| w[0] != w[1]),
@@ -53,12 +64,19 @@ fn network_choice_changes_the_answer() {
 
 #[test]
 fn seeds_change_stochastic_workloads_but_not_structure() {
-    let a = exp(NetworkKind::Emesh, Kernel::Barnes).with_seed(1).run(Mode::ExecutionDriven);
-    let b = exp(NetworkKind::Emesh, Kernel::Barnes).with_seed(2).run(Mode::ExecutionDriven);
+    let a = exp(NetworkKind::Emesh, Kernel::Barnes)
+        .with_seed(1)
+        .run(Mode::ExecutionDriven);
+    let b = exp(NetworkKind::Emesh, Kernel::Barnes)
+        .with_seed(2)
+        .run(Mode::ExecutionDriven);
     assert_ne!(a.exec_time, b.exec_time, "seed had no effect");
     // Same order of magnitude though.
     let ratio = a.exec_time.as_ps() as f64 / b.exec_time.as_ps() as f64;
-    assert!((0.5..2.0).contains(&ratio), "seeds changed workload scale: {ratio}");
+    assert!(
+        (0.5..2.0).contains(&ratio),
+        "seeds changed workload scale: {ratio}"
+    );
 }
 
 #[test]
@@ -72,7 +90,11 @@ fn headline_claim_sctm_accurate_and_reasonably_fast() {
     let baseline = exp(NetworkKind::Emesh, Kernel::Fft).run(Mode::ExecutionDriven);
 
     let acc = accuracy(&sctm, &reference);
-    assert!(acc.exec_time_err_pct < 8.0, "precision: {:.1}%", acc.exec_time_err_pct);
+    assert!(
+        acc.exec_time_err_pct < 8.0,
+        "precision: {:.1}%",
+        acc.exec_time_err_pct
+    );
     let vs_baseline = sctm.wall.as_secs_f64() / baseline.wall.as_secs_f64();
     assert!(
         vs_baseline < 10.0,
@@ -89,7 +111,10 @@ fn trace_modes_agree_with_execution_on_message_population() {
     // populations of the same order (timing shifts protocol details
     // slightly, so exact equality is not expected).
     let ratio = log.len() as f64 / reference.messages as f64;
-    assert!((0.8..1.25).contains(&ratio), "message population ratio {ratio}");
+    assert!(
+        (0.8..1.25).contains(&ratio),
+        "message population ratio {ratio}"
+    );
 }
 
 #[test]
@@ -99,8 +124,11 @@ fn wide_sharing_at_64_cores_does_not_deadlock() {
     // directory (grant-in-flight vs queued-request deferral ambiguity).
     // streamcluster's centre lines are shared by all 64 cores and
     // rewritten by the master every phase — the worst case.
-    let e = Experiment::new(SystemConfig::new(8, NetworkKind::Emesh), Kernel::Streamcluster)
-        .with_ops(150);
+    let e = Experiment::new(
+        SystemConfig::new(8, NetworkKind::Emesh),
+        Kernel::Streamcluster,
+    )
+    .with_ops(150);
     let r = e.run(Mode::ExecutionDriven);
     assert!(r.messages > 10_000);
     assert!(r.exec_time > SimTime::ZERO);
@@ -116,7 +144,9 @@ fn online_mode_beats_uncorrected_analytic_estimate() {
         log.capture_exec_time.as_ps() as f64,
         reference.exec_time.as_ps() as f64,
     );
-    let online = e.run(Mode::Online { epoch: SimTime::from_us(2) });
+    let online = e.run(Mode::Online {
+        epoch: SimTime::from_us(2),
+    });
     let online_err = accuracy(&online, &reference).exec_time_err_pct;
     assert!(
         online_err < uncorrected_err + 1.0,

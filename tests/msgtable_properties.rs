@@ -1,0 +1,83 @@
+//! Property tests for the dense message table (`sctm_engine::MsgTable`),
+//! the slab that replaced `HashMap<u64, _>` on every network model's
+//! per-event path: random operation sequences must behave exactly like
+//! the hash map they displaced.
+
+use proptest::prelude::*;
+use sctm::engine::MsgTable;
+use std::collections::HashMap;
+
+proptest! {
+    #![proptest_config(ProptestConfig { cases: 64, ..ProptestConfig::default() })]
+
+    /// Drive a `MsgTable` and a `HashMap` reference model through the
+    /// same operation sequence: every return value, every membership
+    /// query, and the final contents must agree. Ids are drawn from a
+    /// small range so inserts, removes, and misses all collide often.
+    #[test]
+    fn matches_hashmap_reference(
+        ops in prop::collection::vec((0u8..4, 0u64..48, any::<u32>()), 1..400)
+    ) {
+        let mut table: MsgTable<u32> = MsgTable::new();
+        let mut map: HashMap<u64, u32> = HashMap::new();
+        for (kind, id, val) in ops {
+            match kind {
+                0 => prop_assert_eq!(table.insert(id, val), map.insert(id, val)),
+                1 => prop_assert_eq!(table.remove(id), map.remove(&id)),
+                2 => prop_assert_eq!(table.get(id), map.get(&id)),
+                _ => prop_assert_eq!(table.contains(id), map.contains_key(&id)),
+            }
+            prop_assert_eq!(table.len(), map.len());
+            prop_assert_eq!(table.is_empty(), map.is_empty());
+        }
+        // Final contents, via the id-ordered iterator.
+        let mut want: Vec<(u64, u32)> = map.into_iter().collect();
+        want.sort_unstable();
+        let got: Vec<(u64, u32)> = table.iter().map(|(id, &v)| (id, v)).collect();
+        prop_assert_eq!(got, want);
+    }
+
+    /// `get_mut` writes must land exactly where `get` reads.
+    #[test]
+    fn get_mut_is_consistent(
+        ids in prop::collection::vec(0u64..32, 1..100),
+        bump in any::<u32>()
+    ) {
+        let mut table: MsgTable<u32> = MsgTable::new();
+        let mut map: HashMap<u64, u32> = HashMap::new();
+        for id in ids {
+            match table.get_mut(id) {
+                Some(v) => {
+                    *v = v.wrapping_add(bump);
+                    let m = map.get_mut(&id).unwrap();
+                    *m = m.wrapping_add(bump);
+                }
+                None => {
+                    table.insert(id, bump);
+                    map.insert(id, bump);
+                }
+            }
+            prop_assert_eq!(table.get(id), map.get(&id));
+        }
+    }
+
+    /// A sliding window of in-flight ids (the network-model usage
+    /// pattern: ids only grow, old entries retire) keeps `len` bounded
+    /// by the window and leaves exactly the trailing window live.
+    #[test]
+    fn sliding_window_of_inflight_ids(window in 1u64..16, total in 16u64..256) {
+        let mut table: MsgTable<u64> = MsgTable::new();
+        let mut peak = 0;
+        for id in 0..total {
+            table.insert(id, id * 3);
+            peak = peak.max(table.len());
+            if id >= window {
+                table.remove(id - window);
+            }
+        }
+        prop_assert_eq!(peak, window as usize + 1);
+        let live: Vec<u64> = table.iter().map(|(id, _)| id).collect();
+        let want: Vec<u64> = (total - window..total).collect();
+        prop_assert_eq!(live, want);
+    }
+}

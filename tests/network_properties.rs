@@ -21,7 +21,11 @@ fn random_traffic(nodes: usize, count: usize, seed: u64) -> Vec<(SimTime, Messag
                     id: MsgId(i),
                     src: NodeId(src),
                     dst: NodeId(dst),
-                    class: if data { MsgClass::Data } else { MsgClass::Control },
+                    class: if data {
+                        MsgClass::Data
+                    } else {
+                        MsgClass::Control
+                    },
                     bytes: if data { 72 } else { 8 },
                 },
             )

@@ -44,7 +44,10 @@ fn fuzz_workload(cores: usize, len: usize, lines: u64) -> impl Strategy<Value = 
             s.insert(len / 3, Op::Barrier(0));
             s.insert(2 * len / 3, Op::Barrier(1));
         }
-        FuzzWorkload { pos: vec![0; streams.len()], streams }
+        FuzzWorkload {
+            pos: vec![0; streams.len()],
+            streams,
+        }
     })
 }
 

@@ -1,0 +1,94 @@
+//! The deterministic parallel sweep executor's core guarantee: a grid
+//! of simulations run through `par_map` is **bit-identical** to the
+//! same grid run serially, at any thread count — parallelism changes
+//! when a job runs, never what it computes or where its result lands.
+
+use sctm::engine::par::{num_threads, par_map, serial_map};
+use sctm::workloads::Kernel;
+use sctm::{Experiment, Mode, NetworkKind, SystemConfig};
+
+/// Everything observable about one run, with float fields captured
+/// bit-for-bit.
+#[derive(Debug, PartialEq, Eq, Clone)]
+struct Fingerprint {
+    mode: &'static str,
+    network: &'static str,
+    workload: &'static str,
+    exec_time_ps: u64,
+    messages: u64,
+    lat_ctrl_bits: u64,
+    lat_data_bits: u64,
+}
+
+fn fingerprint(r: &sctm::RunReport) -> Fingerprint {
+    Fingerprint {
+        mode: r.mode,
+        network: r.network,
+        workload: r.workload,
+        exec_time_ps: r.exec_time.as_ps(),
+        messages: r.messages,
+        lat_ctrl_bits: r.mean_lat_ctrl_ns.to_bits(),
+        lat_data_bits: r.mean_lat_data_ns.to_bits(),
+    }
+}
+
+/// A small experiment × network × mode grid (independent full
+/// simulations, like the bench harness and `design_sweep` run).
+fn grid() -> Vec<impl FnOnce() -> Fingerprint + Send> {
+    let mut jobs = Vec::new();
+    for kernel in [Kernel::Fft, Kernel::Lu] {
+        for kind in [NetworkKind::Omesh, NetworkKind::Oxbar, NetworkKind::Obus] {
+            for mode in [Mode::ExecutionDriven, Mode::SelfCorrection { max_iters: 2 }] {
+                jobs.push(move || {
+                    let e = Experiment::new(SystemConfig::new(2, kind), kernel).with_ops(150);
+                    fingerprint(&e.run(mode))
+                });
+            }
+        }
+    }
+    jobs
+}
+
+#[test]
+fn parallel_sweep_is_bit_identical_to_serial() {
+    let serial = serial_map(grid());
+    let parallel = par_map(grid());
+    assert_eq!(
+        serial, parallel,
+        "parallel sweep diverged from serial reference"
+    );
+}
+
+#[test]
+fn parallel_sweep_is_stable_across_runs() {
+    assert_eq!(par_map(grid()), par_map(grid()));
+}
+
+#[test]
+fn results_stay_in_input_order_with_skewed_job_costs() {
+    // Cheap and expensive jobs interleaved: slot i must still hold job
+    // i's result even though completion order scrambles.
+    let jobs: Vec<_> = (0..48u64)
+        .map(|i| {
+            move || {
+                if i % 7 == 0 {
+                    // Disproportionately expensive cell.
+                    let e = Experiment::new(SystemConfig::new(2, NetworkKind::Omesh), Kernel::Fft)
+                        .with_ops(200);
+                    (i, e.run(Mode::ExecutionDriven).exec_time.as_ps())
+                } else {
+                    (i, i.wrapping_mul(0x9E37_79B9_7F4A_7C15))
+                }
+            }
+        })
+        .collect();
+    let got = par_map(jobs);
+    for (slot, (i, _)) in got.iter().enumerate() {
+        assert_eq!(slot as u64, *i, "result landed in the wrong slot");
+    }
+}
+
+#[test]
+fn executor_reports_at_least_one_worker() {
+    assert!(num_threads() >= 1);
+}

@@ -1,0 +1,225 @@
+//! Offline stand-in for the `criterion` crate.
+//!
+//! Implements the subset of the criterion API used by this workspace's
+//! benches (`bench_function`, `benchmark_group`, `bench_with_input`,
+//! `BenchmarkId`, `criterion_group!`/`criterion_main!`) with real
+//! wall-clock measurement: each benchmark is calibrated during a short
+//! warm-up, then timed for `sample_size` samples, and the min / median /
+//! max per-iteration times are printed in criterion's familiar
+//! `time: [low mid high]` shape. No plots, no statistics beyond the
+//! order statistics, no baseline persistence.
+
+pub use std::hint::black_box;
+
+use std::time::{Duration, Instant};
+
+/// Identifies a benchmark within a group.
+#[derive(Clone, Debug)]
+pub struct BenchmarkId {
+    id: String,
+}
+
+impl BenchmarkId {
+    pub fn from_parameter<P: std::fmt::Display>(p: P) -> Self {
+        BenchmarkId { id: p.to_string() }
+    }
+
+    pub fn new<F: std::fmt::Display, P: std::fmt::Display>(function: F, p: P) -> Self {
+        BenchmarkId {
+            id: format!("{function}/{p}"),
+        }
+    }
+}
+
+impl From<&str> for BenchmarkId {
+    fn from(s: &str) -> Self {
+        BenchmarkId { id: s.to_string() }
+    }
+}
+
+/// Timing loop handle passed to benchmark closures.
+pub struct Bencher {
+    iters: u64,
+    elapsed: Duration,
+}
+
+impl Bencher {
+    pub fn iter<T, F: FnMut() -> T>(&mut self, mut f: F) {
+        let start = Instant::now();
+        for _ in 0..self.iters {
+            black_box(f());
+        }
+        self.elapsed = start.elapsed();
+    }
+}
+
+pub struct Criterion {
+    sample_size: usize,
+}
+
+impl Default for Criterion {
+    fn default() -> Self {
+        Criterion { sample_size: 20 }
+    }
+}
+
+impl Criterion {
+    pub fn sample_size(mut self, n: usize) -> Self {
+        assert!(n >= 2, "sample_size must be at least 2");
+        self.sample_size = n;
+        self
+    }
+
+    pub fn bench_function<I, F>(&mut self, id: I, mut f: F) -> &mut Self
+    where
+        I: Into<BenchmarkId>,
+        F: FnMut(&mut Bencher),
+    {
+        run_bench(&id.into().id, self.sample_size, &mut f);
+        self
+    }
+
+    pub fn benchmark_group(&mut self, name: &str) -> BenchmarkGroup<'_> {
+        BenchmarkGroup {
+            criterion: self,
+            name: name.to_string(),
+        }
+    }
+}
+
+pub struct BenchmarkGroup<'a> {
+    criterion: &'a mut Criterion,
+    name: String,
+}
+
+impl BenchmarkGroup<'_> {
+    pub fn bench_function<I, F>(&mut self, id: I, mut f: F) -> &mut Self
+    where
+        I: Into<BenchmarkId>,
+        F: FnMut(&mut Bencher),
+    {
+        let full = format!("{}/{}", self.name, id.into().id);
+        run_bench(&full, self.criterion.sample_size, &mut f);
+        self
+    }
+
+    pub fn bench_with_input<I, T, F>(&mut self, id: I, input: &T, mut f: F) -> &mut Self
+    where
+        I: Into<BenchmarkId>,
+        F: FnMut(&mut Bencher, &T),
+    {
+        let full = format!("{}/{}", self.name, id.into().id);
+        run_bench(&full, self.criterion.sample_size, &mut |b| f(b, input));
+        self
+    }
+
+    pub fn finish(self) {}
+}
+
+/// Calibrate, sample, and report one benchmark.
+fn run_bench(id: &str, sample_size: usize, f: &mut dyn FnMut(&mut Bencher)) {
+    let mut b = Bencher {
+        iters: 1,
+        elapsed: Duration::ZERO,
+    };
+
+    // Calibration / warm-up: run until ~80 ms of work has executed,
+    // tracking the cheapest observed per-iteration cost.
+    f(&mut b);
+    let mut per_iter_ns = (b.elapsed.as_nanos().max(1)) as f64;
+    let mut warmed = b.elapsed;
+    while warmed < Duration::from_millis(80) {
+        let want = (20_000_000.0 / per_iter_ns).clamp(1.0, 4_000_000.0) as u64;
+        b.iters = want;
+        f(&mut b);
+        warmed += b.elapsed;
+        per_iter_ns = per_iter_ns.min(b.elapsed.as_nanos() as f64 / want as f64);
+    }
+
+    // Aim for ~25 ms per sample so cheap benchmarks average over many
+    // iterations while expensive ones still run at least once.
+    let iters = (25_000_000.0 / per_iter_ns).clamp(1.0, 16_000_000.0) as u64;
+    let mut samples: Vec<f64> = Vec::with_capacity(sample_size);
+    for _ in 0..sample_size {
+        b.iters = iters;
+        f(&mut b);
+        samples.push(b.elapsed.as_nanos() as f64 / iters as f64);
+    }
+    samples.sort_by(|a, b| a.total_cmp(b));
+    let min = samples[0];
+    let max = samples[samples.len() - 1];
+    let median = if samples.len() % 2 == 1 {
+        samples[samples.len() / 2]
+    } else {
+        (samples[samples.len() / 2 - 1] + samples[samples.len() / 2]) / 2.0
+    };
+    println!(
+        "{:<40} time: [{} {} {}]  ({} samples x {} iters)",
+        id,
+        fmt_ns(min),
+        fmt_ns(median),
+        fmt_ns(max),
+        sample_size,
+        iters
+    );
+}
+
+fn fmt_ns(ns: f64) -> String {
+    if ns < 1_000.0 {
+        format!("{ns:.2} ns")
+    } else if ns < 1_000_000.0 {
+        format!("{:.3} µs", ns / 1_000.0)
+    } else if ns < 1_000_000_000.0 {
+        format!("{:.3} ms", ns / 1_000_000.0)
+    } else {
+        format!("{:.3} s", ns / 1_000_000_000.0)
+    }
+}
+
+/// `criterion_group! { name = benches; config = ...; targets = a, b }`
+#[macro_export]
+macro_rules! criterion_group {
+    (name = $name:ident; config = $cfg:expr; targets = $($target:path),+ $(,)?) => {
+        pub fn $name() {
+            let mut criterion: $crate::Criterion = $cfg;
+            $($target(&mut criterion);)+
+        }
+    };
+    ($name:ident, $($target:path),+ $(,)?) => {
+        $crate::criterion_group! {
+            name = $name;
+            config = $crate::Criterion::default();
+            targets = $($target),+
+        }
+    };
+}
+
+#[macro_export]
+macro_rules! criterion_main {
+    ($($group:path),+ $(,)?) => {
+        fn main() {
+            $($group();)+
+        }
+    };
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn bench_runs_and_reports() {
+        let mut c = Criterion::default().sample_size(3);
+        let mut ran = 0u32;
+        c.bench_function("smoke/add", |b| {
+            b.iter(|| black_box(2u64 + 2));
+        });
+        let mut g = c.benchmark_group("grp");
+        g.bench_with_input(BenchmarkId::from_parameter(7u32), &7u32, |b, &x| {
+            ran += 1;
+            b.iter(|| black_box(x * 2));
+        });
+        g.finish();
+        assert!(ran > 0);
+    }
+}

@@ -1,0 +1,390 @@
+//! Offline stand-in for the `proptest` crate.
+//!
+//! This workspace builds in environments with no access to crates.io, so
+//! the handful of proptest features the test suite uses are implemented
+//! here directly: integer/float range strategies, `Just`, `prop_map`,
+//! weighted `prop_oneof!`, `prop::collection::vec`, `any::<T>()`, the
+//! `proptest!` item macro and the `prop_assert*` assertions.
+//!
+//! Differences from upstream proptest, by design:
+//! - no shrinking — a failing case panics with its inputs' debug output;
+//! - deterministic seeding — every test derives its RNG stream from the
+//!   test name, so failures reproduce exactly across runs and machines;
+//! - `ProptestConfig` carries only the fields this repo sets (`cases`).
+
+pub mod test_runner {
+    /// Deterministic splitmix64 generator used to drive strategies.
+    #[derive(Clone, Debug)]
+    pub struct Rng(u64);
+
+    impl Rng {
+        pub fn new(seed: u64) -> Self {
+            Rng(seed ^ 0x9E37_79B9_7F4A_7C15)
+        }
+
+        /// Seed from a test name so each proptest gets its own stream.
+        pub fn from_name(name: &str) -> Self {
+            let mut h: u64 = 0xcbf2_9ce4_8422_2325;
+            for b in name.bytes() {
+                h ^= b as u64;
+                h = h.wrapping_mul(0x0000_0100_0000_01B3);
+            }
+            Rng::new(h)
+        }
+
+        pub fn next_u64(&mut self) -> u64 {
+            self.0 = self.0.wrapping_add(0x9E37_79B9_7F4A_7C15);
+            let mut z = self.0;
+            z = (z ^ (z >> 30)).wrapping_mul(0xBF58_476D_1CE4_E5B9);
+            z = (z ^ (z >> 27)).wrapping_mul(0x94D0_49BB_1331_11EB);
+            z ^ (z >> 31)
+        }
+
+        /// Uniform in `[0, n)`. Modulo bias is irrelevant at test scale.
+        pub fn below(&mut self, n: u64) -> u64 {
+            debug_assert!(n > 0);
+            self.next_u64() % n
+        }
+
+        /// Uniform in `[0, 1)`.
+        pub fn unit_f64(&mut self) -> f64 {
+            (self.next_u64() >> 11) as f64 * (1.0 / (1u64 << 53) as f64)
+        }
+    }
+
+    /// Subset of proptest's config: only `cases` is honoured.
+    /// `max_shrink_iters` is accepted for source compatibility with the
+    /// upstream `ProptestConfig { .., ..Default::default() }` idiom
+    /// (this runner does not shrink), and keeps that idiom meaningful —
+    /// callers never have to spell out every field.
+    #[derive(Clone, Debug)]
+    pub struct ProptestConfig {
+        pub cases: u32,
+        pub max_shrink_iters: u32,
+    }
+
+    impl Default for ProptestConfig {
+        fn default() -> Self {
+            ProptestConfig {
+                cases: 32,
+                max_shrink_iters: 0,
+            }
+        }
+    }
+}
+
+pub mod strategy {
+    use crate::test_runner::Rng;
+    use std::ops::Range;
+
+    /// A generator of values. Object safe so `prop_oneof!` can erase the
+    /// concrete strategy types behind `Box<dyn Strategy<Value = V>>`.
+    pub trait Strategy {
+        type Value;
+
+        fn sample(&self, rng: &mut Rng) -> Self::Value;
+
+        fn prop_map<U, F>(self, f: F) -> Map<Self, F>
+        where
+            Self: Sized,
+            F: Fn(Self::Value) -> U,
+        {
+            Map { inner: self, f }
+        }
+    }
+
+    impl<V, S: Strategy<Value = V> + ?Sized> Strategy for Box<S> {
+        type Value = V;
+        fn sample(&self, rng: &mut Rng) -> V {
+            (**self).sample(rng)
+        }
+    }
+
+    /// Always yields a clone of the given value.
+    #[derive(Clone, Debug)]
+    pub struct Just<T: Clone>(pub T);
+
+    impl<T: Clone> Strategy for Just<T> {
+        type Value = T;
+        fn sample(&self, _rng: &mut Rng) -> T {
+            self.0.clone()
+        }
+    }
+
+    pub struct Map<S, F> {
+        inner: S,
+        f: F,
+    }
+
+    impl<S: Strategy, U, F: Fn(S::Value) -> U> Strategy for Map<S, F> {
+        type Value = U;
+        fn sample(&self, rng: &mut Rng) -> U {
+            (self.f)(self.inner.sample(rng))
+        }
+    }
+
+    /// Tuples of strategies sample component-wise, left to right.
+    impl<A: Strategy, B: Strategy> Strategy for (A, B) {
+        type Value = (A::Value, B::Value);
+        fn sample(&self, rng: &mut Rng) -> Self::Value {
+            (self.0.sample(rng), self.1.sample(rng))
+        }
+    }
+
+    impl<A: Strategy, B: Strategy, C: Strategy> Strategy for (A, B, C) {
+        type Value = (A::Value, B::Value, C::Value);
+        fn sample(&self, rng: &mut Rng) -> Self::Value {
+            (self.0.sample(rng), self.1.sample(rng), self.2.sample(rng))
+        }
+    }
+
+    macro_rules! impl_int_range {
+        ($($t:ty),*) => {$(
+            impl Strategy for Range<$t> {
+                type Value = $t;
+                fn sample(&self, rng: &mut Rng) -> $t {
+                    let span = (self.end as i128 - self.start as i128) as u64;
+                    assert!(span > 0, "empty integer range strategy");
+                    (self.start as i128 + rng.below(span) as i128) as $t
+                }
+            }
+        )*};
+    }
+    impl_int_range!(u8, u16, u32, u64, usize, i8, i16, i32, i64, isize);
+
+    impl Strategy for Range<f64> {
+        type Value = f64;
+        fn sample(&self, rng: &mut Rng) -> f64 {
+            self.start + rng.unit_f64() * (self.end - self.start)
+        }
+    }
+
+    /// Weighted union over boxed strategies; built by `prop_oneof!`.
+    pub struct OneOf<V> {
+        entries: Vec<(u32, Box<dyn Strategy<Value = V>>)>,
+        total: u32,
+    }
+
+    impl<V> OneOf<V> {
+        pub fn new(entries: Vec<(u32, Box<dyn Strategy<Value = V>>)>) -> Self {
+            let total = entries.iter().map(|e| e.0).sum();
+            assert!(total > 0, "prop_oneof! needs positive total weight");
+            OneOf { entries, total }
+        }
+
+        /// Boxing helper so the macro never needs an explicit cast.
+        pub fn entry<S>(weight: u32, s: S) -> (u32, Box<dyn Strategy<Value = S::Value>>)
+        where
+            S: Strategy<Value = V> + 'static,
+        {
+            (weight, Box::new(s))
+        }
+    }
+
+    impl<V> Strategy for OneOf<V> {
+        type Value = V;
+        fn sample(&self, rng: &mut Rng) -> V {
+            let mut pick = rng.below(self.total as u64) as u32;
+            for (w, s) in &self.entries {
+                if pick < *w {
+                    return s.sample(rng);
+                }
+                pick -= w;
+            }
+            unreachable!()
+        }
+    }
+}
+
+pub mod arbitrary {
+    use crate::strategy::Strategy;
+    use crate::test_runner::Rng;
+    use std::marker::PhantomData;
+
+    /// Full-range strategy for primitive types, i.e. `any::<T>()`.
+    pub struct Any<T>(PhantomData<T>);
+
+    pub trait Arbitrary: Sized {
+        fn sample_any(rng: &mut Rng) -> Self;
+    }
+
+    macro_rules! impl_arbitrary_int {
+        ($($t:ty),*) => {$(
+            impl Arbitrary for $t {
+                fn sample_any(rng: &mut Rng) -> $t {
+                    rng.next_u64() as $t
+                }
+            }
+        )*};
+    }
+    impl_arbitrary_int!(u8, u16, u32, u64, usize, i8, i16, i32, i64, isize);
+
+    impl Arbitrary for bool {
+        fn sample_any(rng: &mut Rng) -> bool {
+            rng.next_u64() & 1 == 1
+        }
+    }
+
+    impl<T: Arbitrary> Strategy for Any<T> {
+        type Value = T;
+        fn sample(&self, rng: &mut Rng) -> T {
+            T::sample_any(rng)
+        }
+    }
+
+    pub fn any<T: Arbitrary>() -> Any<T> {
+        Any(PhantomData)
+    }
+}
+
+pub mod collection {
+    use crate::strategy::Strategy;
+    use crate::test_runner::Rng;
+    use std::ops::Range;
+
+    pub struct VecStrategy<S> {
+        element: S,
+        size: Range<usize>,
+    }
+
+    /// `prop::collection::vec(element, len_range)`.
+    pub fn vec<S: Strategy>(element: S, size: Range<usize>) -> VecStrategy<S> {
+        assert!(size.start < size.end, "empty vec size range");
+        VecStrategy { element, size }
+    }
+
+    impl<S: Strategy> Strategy for VecStrategy<S> {
+        type Value = Vec<S::Value>;
+        fn sample(&self, rng: &mut Rng) -> Vec<S::Value> {
+            let span = (self.size.end - self.size.start) as u64;
+            let len = self.size.start + rng.below(span) as usize;
+            (0..len).map(|_| self.element.sample(rng)).collect()
+        }
+    }
+}
+
+/// Module re-exported as `prop` by the prelude (`prop::collection::vec`).
+pub mod prop {
+    pub use crate::collection;
+    pub use crate::strategy;
+}
+
+pub mod prelude {
+    pub use crate::arbitrary::any;
+    pub use crate::prop;
+    pub use crate::strategy::{Just, Strategy};
+    pub use crate::test_runner::ProptestConfig;
+    pub use crate::{prop_assert, prop_assert_eq, prop_assert_ne, prop_oneof, proptest};
+}
+
+/// The `proptest!` item macro: expands each `fn name(arg in strategy)`
+/// into a plain `#[test]` running `config.cases` deterministic cases.
+#[macro_export]
+macro_rules! proptest {
+    (#![proptest_config($cfg:expr)] $($rest:tt)*) => {
+        $crate::__proptest_items!{ ($cfg); $($rest)* }
+    };
+    ($($rest:tt)*) => {
+        $crate::__proptest_items!{ ($crate::test_runner::ProptestConfig::default()); $($rest)* }
+    };
+}
+
+#[doc(hidden)]
+#[macro_export]
+macro_rules! __proptest_items {
+    (($cfg:expr);) => {};
+    (($cfg:expr);
+     $(#[$meta:meta])*
+     fn $name:ident($($arg:ident in $strat:expr),+ $(,)?) $body:block
+     $($rest:tt)*) => {
+        $(#[$meta])*
+        fn $name() {
+            #[allow(unused_imports)]
+            use $crate::strategy::Strategy as _;
+            let __config: $crate::test_runner::ProptestConfig = $cfg;
+            let mut __rng = $crate::test_runner::Rng::from_name(stringify!($name));
+            for __case in 0..__config.cases {
+                $(let $arg = ($strat).sample(&mut __rng);)+
+                $body
+            }
+        }
+        $crate::__proptest_items!{ ($cfg); $($rest)* }
+    };
+}
+
+/// Weighted (`3 => strat`) or unweighted union of strategies sharing a
+/// common `Value` type.
+#[macro_export]
+macro_rules! prop_oneof {
+    ($($weight:literal => $strat:expr),+ $(,)?) => {
+        $crate::strategy::OneOf::new(vec![
+            $($crate::strategy::OneOf::entry($weight, $strat)),+
+        ])
+    };
+    ($($strat:expr),+ $(,)?) => {
+        $crate::strategy::OneOf::new(vec![
+            $($crate::strategy::OneOf::entry(1, $strat)),+
+        ])
+    };
+}
+
+#[macro_export]
+macro_rules! prop_assert {
+    ($($tt:tt)*) => { assert!($($tt)*) };
+}
+
+#[macro_export]
+macro_rules! prop_assert_eq {
+    ($($tt:tt)*) => { assert_eq!($($tt)*) };
+}
+
+#[macro_export]
+macro_rules! prop_assert_ne {
+    ($($tt:tt)*) => { assert_ne!($($tt)*) };
+}
+
+#[cfg(test)]
+mod tests {
+    use crate::prelude::*;
+    use crate::test_runner::Rng;
+
+    #[test]
+    fn ranges_stay_in_bounds() {
+        let mut rng = Rng::new(7);
+        for _ in 0..1000 {
+            let v = (10u64..20).sample(&mut rng);
+            assert!((10..20).contains(&v));
+            let f = (-2.0f64..3.0).sample(&mut rng);
+            assert!((-2.0..3.0).contains(&f));
+        }
+    }
+
+    #[test]
+    fn oneof_respects_weights_roughly() {
+        let s = prop_oneof![9 => Just(1u32), 1 => Just(2u32)];
+        let mut rng = Rng::new(3);
+        let ones = (0..1000).filter(|_| s.sample(&mut rng) == 1).count();
+        assert!(ones > 800, "weight 9:1 produced only {ones}/1000");
+    }
+
+    #[test]
+    fn vec_lengths_in_range() {
+        let s = prop::collection::vec(0u8..5, 2..6);
+        let mut rng = Rng::new(11);
+        for _ in 0..200 {
+            let v = s.sample(&mut rng);
+            assert!((2..6).contains(&v.len()));
+            assert!(v.iter().all(|&x| x < 5));
+        }
+    }
+
+    proptest! {
+        #![proptest_config(ProptestConfig { cases: 16, ..ProptestConfig::default() })]
+
+        #[test]
+        fn macro_roundtrip(x in 0u64..100, ys in prop::collection::vec(0i32..10, 1..4)) {
+            prop_assert!(x < 100);
+            prop_assert_eq!(ys.is_empty(), false);
+        }
+    }
+}

@@ -1,0 +1,82 @@
+//! Tracing overhead on the omesh drain microbench.
+//!
+//! The acceptance bar for the observability layer: with instrumentation
+//! compiled in but **disabled**, the omesh drain must stay within 2% of
+//! the pre-instrumentation baseline (each sim_event site costs one
+//! relaxed atomic load and a branch). The enabled case is measured too,
+//! for the honest cost of turning tracing on — events are drained and
+//! discarded between iterations so the ring buffers never saturate.
+
+use criterion::{black_box, criterion_group, criterion_main, BenchmarkId, Criterion};
+use sctm_bench::bench_network;
+use sctm_core::NetworkKind;
+use sctm_engine::net::{Message, MsgClass, MsgId, NodeId};
+use sctm_engine::rng::StreamRng;
+use sctm_engine::time::SimTime;
+use sctm_obs as obs;
+
+fn traffic(n: usize, count: u64, seed: u64) -> Vec<(SimTime, Message)> {
+    let mut rng = StreamRng::new(seed);
+    (0..count)
+        .map(|i| {
+            let src = rng.below(n as u64) as u32;
+            let mut dst = rng.below(n as u64) as u32;
+            if dst == src {
+                dst = (dst + 1) % n as u32;
+            }
+            let data = rng.chance(0.5);
+            (
+                SimTime::from_ns(rng.below(4_000)),
+                Message {
+                    id: MsgId(i),
+                    src: NodeId(src),
+                    dst: NodeId(dst),
+                    class: if data {
+                        MsgClass::Data
+                    } else {
+                        MsgClass::Control
+                    },
+                    bytes: if data { 72 } else { 8 },
+                },
+            )
+        })
+        .collect()
+}
+
+fn bench_obs_overhead(c: &mut Criterion) {
+    let mut g = c.benchmark_group("obs_overhead_omesh_2k_msgs");
+    let side = 8;
+    let msgs = traffic(side * side, 2000, 42);
+    for &on in &[false, true] {
+        g.bench_with_input(
+            BenchmarkId::from_parameter(if on { "tracing_on" } else { "tracing_off" }),
+            &on,
+            |b, &on| {
+                obs::set_enabled(on);
+                b.iter(|| {
+                    let mut net = bench_network(NetworkKind::Omesh, side);
+                    for &(t, m) in &msgs {
+                        net.inject(t, m);
+                    }
+                    let mut out = Vec::with_capacity(msgs.len());
+                    net.drain(&mut out);
+                    assert_eq!(out.len(), msgs.len());
+                    if on {
+                        black_box(obs::drain().len());
+                    }
+                    black_box(out.len())
+                });
+                obs::set_enabled(false);
+                obs::drain();
+            },
+        );
+    }
+    g.finish();
+}
+
+criterion_group! {
+    name = benches;
+    config = Criterion::default().sample_size(10);
+    targets = bench_obs_overhead
+}
+criterion_main!(benches);

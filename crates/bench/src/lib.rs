@@ -42,10 +42,26 @@ impl Scale {
     }
 }
 
+pub use sctm_engine::par::{num_threads, serial_map};
+
 /// Deterministic parallel sweep executor (pooled, work-queue based,
-/// results in input order — see `sctm_engine::par`). Re-exported here so
-/// experiments and external drivers share one implementation.
-pub use sctm_engine::par::{num_threads, par_map, serial_map};
+/// results in input order — see `sctm_engine::par`), shared by all
+/// experiments and external drivers. Each job runs inside a
+/// `sweep`/`job` tracing span so parallel sweeps appear per-job in
+/// exported traces; with tracing off the wrapper costs one atomic load
+/// per job.
+pub fn par_map<T: Send, F: FnOnce() -> T + Send>(jobs: Vec<F>) -> Vec<T> {
+    sctm_engine::par::par_map(
+        jobs.into_iter()
+            .map(|job| {
+                move || {
+                    let _span = sctm_obs::span("sweep", "job");
+                    job()
+                }
+            })
+            .collect(),
+    )
+}
 
 /// Experiment ids in report order.
 pub const EXPERIMENT_IDS: [&str; 11] = [

@@ -339,6 +339,7 @@ impl CmpSim {
 
     /// Run the workload to completion. Returns aggregate results.
     pub fn run(&mut self, hook: &mut dyn TraceHook) -> CmpResult {
+        let _span = sctm_obs::span("cmp", "run");
         for c in 0..self.cfg.num_cores() {
             self.q.schedule(SimTime::ZERO, Ev::CoreNext(c as u16));
         }

@@ -40,6 +40,7 @@ pub use modes::{Experiment, Mode};
 pub use sctm_cmp as cmp;
 pub use sctm_engine as engine;
 pub use sctm_enoc as enoc;
+pub use sctm_obs as obs;
 pub use sctm_onoc as onoc;
 pub use sctm_photonic as photonic;
 pub use sctm_trace as trace;

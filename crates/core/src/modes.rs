@@ -11,6 +11,7 @@ use crate::metrics::{IterStats, RunReport};
 use sctm_cmp::{CmpSim, NullHook};
 use sctm_engine::net::{AnalyticNetwork, MsgClass, NodeId};
 use sctm_engine::time::SimTime;
+use sctm_obs as obs;
 use sctm_trace::replay::{
     pair_corrections, replay_fixed, replay_oracle, replay_sctm_pass, replay_sctm_pass_with,
     ReplayScratch,
@@ -95,6 +96,7 @@ impl Experiment {
     /// Capture on a specific (possibly correction-loaded) analytic
     /// model instance — the re-capture step of the self-correction loop.
     pub fn capture_on(&self, model: AnalyticNetwork) -> TraceLog {
+        let _span = obs::span("sctm", "capture");
         let mut sim = CmpSim::new(self.system.cmp.clone(), Box::new(model), self.workload());
         let mut cap = Capture::new();
         let res = sim.run(&mut cap);
@@ -141,22 +143,34 @@ impl Experiment {
         let mut scratch = ReplayScratch::new();
         // Relative convergence threshold: 0.5% of the estimate.
         for it in 1..=max_iters {
+            let _iter_span = obs::span("sctm", "iteration");
+            let iter_wall = Instant::now();
             let log = self.capture_on(model.clone());
             if it == 1 {
                 prev_est = log.capture_exec_time;
             }
             let mut net = SystemConfig::make_network_kind(side, kind);
-            let result = replay_sctm_pass_with(&log, net.as_mut(), &mut scratch);
+            let result = {
+                let _span = obs::span("sctm", "replay");
+                replay_sctm_pass_with(&log, net.as_mut(), &mut scratch)
+            };
+            if obs::enabled() {
+                obs::with_global(|reg| {
+                    obs::publish_network(reg, net.as_ref(), result.est_exec_time)
+                });
+            }
             let est = result.est_exec_time;
             let drift = est.abs_diff(prev_est);
             // Damped correction update (an undamped loop oscillates:
             // each re-capture overshoots the contention the previous
             // correction just absorbed).
+            let corr_span = obs::span("sctm", "correct");
             let corr = pair_corrections(&log, &result, |m| model.base_latency(m));
             for &((s, d, class), f) in &corr {
                 let old = model.correction(NodeId(s), NodeId(d), class);
                 model.set_correction(NodeId(s), NodeId(d), class, 0.5 * old + 0.5 * f);
             }
+            drop(corr_span);
             // Note: per-destination service learning
             // (`dst_service_estimates`) is deliberately NOT applied
             // here. It can model single-reader bottlenecks (MWSR home
@@ -171,6 +185,16 @@ impl Experiment {
                 drift,
                 corrections: corr.len(),
                 messages: log.len() as u64,
+            });
+            obs::record_iteration(obs::IterTelemetry {
+                network: kind.label(),
+                workload: self.kernel.label(),
+                iteration: it as u32,
+                est_ps: est.as_ps(),
+                drift_ps: drift.as_ps(),
+                corrections: corr.len() as u64,
+                messages: log.len() as u64,
+                wall_ns: iter_wall.elapsed().as_nanos() as u64,
             });
             prev_est = est;
             last = Some((log, result));
@@ -201,6 +225,9 @@ impl Experiment {
             self.workload(),
         );
         let res = sim.run(&mut NullHook);
+        if obs::enabled() {
+            obs::with_global(|reg| obs::publish_network(reg, sim.network(), res.exec_time));
+        }
         let stats = sim.network().stats();
         RunReport {
             mode: Mode::ExecutionDriven.label(),
@@ -231,12 +258,18 @@ impl Experiment {
         let side = self.system.side;
         let kind = self.system.network;
         let mut net = SystemConfig::make_network_kind(side, kind);
-        let result = match mode {
-            Mode::ClassicTrace => replay_fixed(log, net.as_mut()),
-            Mode::OracleTrace => replay_oracle(log, net.as_mut()),
-            Mode::SelfCorrection { .. } => replay_sctm_pass(log, net.as_mut()),
-            _ => panic!("run_with_trace called with non-trace mode {mode:?}"),
+        let result = {
+            let _span = obs::span("sctm", "replay");
+            match mode {
+                Mode::ClassicTrace => replay_fixed(log, net.as_mut()),
+                Mode::OracleTrace => replay_oracle(log, net.as_mut()),
+                Mode::SelfCorrection { .. } => replay_sctm_pass(log, net.as_mut()),
+                _ => panic!("run_with_trace called with non-trace mode {mode:?}"),
+            }
         };
+        if obs::enabled() {
+            obs::with_global(|reg| obs::publish_network(reg, net.as_ref(), result.est_exec_time));
+        }
         RunReport {
             mode: mode.label(),
             network: kind.label(),
@@ -262,6 +295,9 @@ impl Experiment {
         let net = Box::new(OnlineCorrected::new(analytic, make_shadow, epoch));
         let mut sim = CmpSim::new(self.system.cmp.clone(), net, self.workload());
         let res = sim.run(&mut NullHook);
+        if obs::enabled() {
+            obs::with_global(|reg| obs::publish_network(reg, sim.network(), res.exec_time));
+        }
         let stats = sim.network().stats();
         RunReport {
             mode: Mode::Online { epoch }.label(),

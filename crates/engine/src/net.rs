@@ -130,6 +130,20 @@ impl NetStats {
     }
 }
 
+/// A point-in-time observation of one network endpoint, for external
+/// metric collection. Produced by [`NetworkModel::observe_nodes`];
+/// consumed by the observability layer, which the engine deliberately
+/// knows nothing about.
+#[derive(Clone, Copy, Debug, Default, PartialEq, Eq)]
+pub struct NodeObs {
+    pub node: u32,
+    /// Messages/flits currently queued at this node's interface.
+    pub queue_depth: u64,
+    /// Cumulative busy time of this node's outbound link/channel, in
+    /// picoseconds (divide by elapsed sim time for utilisation).
+    pub link_busy_ps: u64,
+}
+
 /// Pull-based co-simulation interface implemented by every interconnect.
 pub trait NetworkModel {
     /// Number of endpoints.
@@ -167,6 +181,12 @@ pub trait NetworkModel {
 
     /// Short architecture label for reports ("emesh", "omesh", "oxbar"...).
     fn label(&self) -> &'static str;
+
+    /// Append one [`NodeObs`] per endpoint describing current queue
+    /// depths and cumulative link busy time. Models without per-node
+    /// state (analytic, hybrid wrappers) may report nothing — the
+    /// default.
+    fn observe_nodes(&self, _out: &mut Vec<NodeObs>) {}
 }
 
 /// A contention-free analytic latency model.

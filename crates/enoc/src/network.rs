@@ -20,8 +20,9 @@
 use crate::packet::{Flit, PacketizeConfig, Reassembly};
 use crate::topology::{Port, Routing, Topology, DIRS, NUM_PORTS};
 use sctm_engine::msgtable::MsgTable;
-use sctm_engine::net::{Delivery, Message, NetStats, NetworkModel};
+use sctm_engine::net::{Delivery, Message, NetStats, NetworkModel, NodeObs};
 use sctm_engine::time::{Freq, SimTime};
+use sctm_obs as obs;
 use std::cmp::Reverse;
 use std::collections::{BinaryHeap, VecDeque};
 
@@ -121,6 +122,8 @@ pub struct NocSim {
     stats: NetStats,
     /// Cycles since a flit last moved, for deadlock detection.
     stall_cycles: u64,
+    /// Cumulative outbound-link occupancy per node, in flit-cycles.
+    link_busy_cycles: Vec<u64>,
 }
 
 /// A full network that has made no forward progress for this many cycles
@@ -175,6 +178,7 @@ impl NocSim {
             active_flits: 0,
             stats: NetStats::default(),
             stall_cycles: 0,
+            link_busy_cycles: vec![0; n],
         }
     }
 
@@ -402,6 +406,7 @@ impl NocSim {
                 input_port_used[in_port] = true;
                 self.routers[node].sa_rr[op] = (pv + 1) % total;
                 self.stall_cycles = 0;
+                obs::sim_event("emesh", "arbitrate", node as u32, self.time_of(self.cycle));
 
                 // Traversal: pop the flit and move it.
                 let (mut flit, freed_tail, ovc) = {
@@ -435,6 +440,12 @@ impl NocSim {
                     // start of the cycle would deliver into the past.
                     self.active_flits -= 1;
                     if let Some((msg, injected_at)) = self.sink[node].eject(&flit) {
+                        obs::sim_event(
+                            "emesh",
+                            "deliver",
+                            node as u32,
+                            self.time_of(self.cycle + 1),
+                        );
                         let d = Delivery {
                             msg,
                             injected_at,
@@ -453,6 +464,7 @@ impl NocSim {
                         flit.dateline = true;
                     }
                     flit.ready_cycle = self.cycle + self.cfg.link_cycles + self.cfg.router_stages;
+                    self.link_busy_cycles[node] += self.cfg.link_cycles;
                     let down = topo.neighbor(here, out_port).expect("route into a wall");
                     let dpv = out_port.opposite().idx() * v + ovc;
                     self.routers[down.idx()].invc[dpv].buf.push_back(flit);
@@ -492,6 +504,7 @@ impl NetworkModel for NocSim {
         debug_assert!(msg.dst.idx() < self.num_nodes() && msg.src.idx() < self.num_nodes());
         let at = at.max(self.time_of(self.cycle));
         self.stats.injected += 1;
+        obs::sim_event("emesh", "inject", msg.src.0, at);
         self.pending.push(Reverse((at, msg.id.0)));
         let prev = self.pending_msgs.insert(msg.id.0, msg);
         debug_assert!(prev.is_none(), "duplicate message id {:?}", msg.id);
@@ -540,6 +553,17 @@ impl NetworkModel for NocSim {
 
     fn label(&self) -> &'static str {
         "emesh"
+    }
+
+    fn observe_nodes(&self, out: &mut Vec<NodeObs>) {
+        let cycle_ps = self.cfg.freq.period().as_ps();
+        for node in 0..self.num_nodes() {
+            out.push(NodeObs {
+                node: node as u32,
+                queue_depth: (self.nis[node].q.len() + self.routers[node].occupancy) as u64,
+                link_busy_ps: self.link_busy_cycles[node] * cycle_ps,
+            });
+        }
     }
 }
 

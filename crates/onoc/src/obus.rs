@@ -14,8 +14,9 @@
 use crate::layout::Floorplan;
 use sctm_engine::event::EventQueue;
 use sctm_engine::msgtable::MsgTable;
-use sctm_engine::net::{Delivery, Message, NetStats, NetworkModel};
+use sctm_engine::net::{Delivery, Message, NetStats, NetworkModel, NodeObs};
 use sctm_engine::time::{Freq, SimTime};
+use sctm_obs as obs;
 use sctm_photonic::{ChannelPlan, DeviceKit, LinkBudget, OpticalPath, PowerBreakdown};
 
 /// Configuration of the broadcast bus.
@@ -94,6 +95,10 @@ pub struct ObusSim {
     src_free: Vec<SimTime>,
     /// Per-receiver ejection port: busy until.
     dst_free: Vec<SimTime>,
+    /// Cumulative burst time per source channel, for observability.
+    src_busy_ps: Vec<u64>,
+    /// Messages injected at each source and not yet delivered.
+    src_inflight: Vec<u64>,
     stats: NetStats,
     optical_bits: u64,
 }
@@ -107,6 +112,8 @@ impl ObusSim {
             msgs: MsgTable::new(),
             src_free: vec![SimTime::ZERO; n],
             dst_free: vec![SimTime::ZERO; n],
+            src_busy_ps: vec![0; n],
+            src_inflight: vec![0; n],
             stats: NetStats::default(),
             optical_bits: 0,
         }
@@ -140,6 +147,7 @@ impl ObusSim {
                 let start = at.max(self.src_free[msg.src.idx()]);
                 let end = start + burst;
                 self.src_free[msg.src.idx()] = end;
+                self.src_busy_ps[msg.src.idx()] += burst.as_ps();
                 self.optical_bits += msg.bytes.max(1) as u64 * 8;
                 self.q.schedule(end, Ev::BurstEnd(id));
             }
@@ -151,6 +159,7 @@ impl ObusSim {
             }
             Ev::Arrive(id) => {
                 let (msg, _) = self.msgs[id];
+                obs::sim_event("obus", "arbitrate", msg.dst.0, at);
                 // One ejection port per node: serialise receptions.
                 let eject = self.cfg.plan.burst_time(msg.bytes.max(1));
                 let start = at.max(self.dst_free[msg.dst.idx()]);
@@ -160,6 +169,8 @@ impl ObusSim {
             }
             Ev::Deliver(id) => {
                 let (msg, injected_at) = self.msgs.remove(id).expect("unknown message");
+                self.src_inflight[msg.src.idx()] -= 1;
+                obs::sim_event("obus", "deliver", msg.dst.0, at);
                 let d = Delivery {
                     msg,
                     injected_at,
@@ -180,6 +191,8 @@ impl NetworkModel for ObusSim {
     fn inject(&mut self, at: SimTime, msg: Message) {
         let at = at.max(self.q.now());
         self.stats.injected += 1;
+        self.src_inflight[msg.src.idx()] += 1;
+        obs::sim_event("obus", "inject", msg.src.0, at);
         let prev = self.msgs.insert(msg.id.0, (msg, at));
         debug_assert!(prev.is_none(), "duplicate message id");
         self.q.schedule(at + self.ni_delay(), Ev::Ready(msg.id.0));
@@ -206,6 +219,16 @@ impl NetworkModel for ObusSim {
 
     fn label(&self) -> &'static str {
         "obus"
+    }
+
+    fn observe_nodes(&self, out: &mut Vec<NodeObs>) {
+        for node in 0..self.num_nodes() {
+            out.push(NodeObs {
+                node: node as u32,
+                queue_depth: self.src_inflight[node],
+                link_busy_ps: self.src_busy_ps[node],
+            });
+        }
     }
 }
 

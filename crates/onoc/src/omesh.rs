@@ -23,8 +23,9 @@
 use crate::layout::Floorplan;
 use sctm_engine::event::EventQueue;
 use sctm_engine::msgtable::MsgTable;
-use sctm_engine::net::{Delivery, Message, MsgClass, NetStats, NetworkModel, NodeId};
+use sctm_engine::net::{Delivery, Message, MsgClass, NetStats, NetworkModel, NodeId, NodeObs};
 use sctm_engine::time::{Freq, SimTime};
+use sctm_obs as obs;
 use sctm_photonic::{ChannelPlan, DeviceKit, LinkBudget, PowerBreakdown};
 use std::collections::VecDeque;
 
@@ -179,6 +180,10 @@ pub struct OmeshSim {
     /// Directed segment `node*4+dir` → holder message id.
     seg_busy: Vec<Option<u64>>,
     seg_wait: Vec<VecDeque<u64>>,
+    /// When each busy segment was last acquired (valid while busy).
+    seg_since: Vec<SimTime>,
+    /// Cumulative outbound-segment busy time per node, for observability.
+    node_busy_ps: Vec<u64>,
     /// Control-plane router next-free times.
     router_free: Vec<SimTime>,
     stats: NetStats,
@@ -216,6 +221,8 @@ impl OmeshSim {
             msgs: MsgTable::new(),
             seg_busy: vec![None; n * 4],
             seg_wait: (0..n * 4).map(|_| VecDeque::new()).collect(),
+            seg_since: vec![SimTime::ZERO; n * 4],
+            node_busy_ps: vec![0; n],
             router_free: vec![SimTime::ZERO; n],
             stats: NetStats::default(),
             optical_bits: 0,
@@ -265,6 +272,7 @@ impl OmeshSim {
             Ev::OptDone(id) => self.handle_opt_done(at, id, out),
             Ev::CtrlDone(id) => {
                 let st = self.msgs.remove(id).expect("ctrl done for unknown msg");
+                obs::sim_event("omesh", "deliver", st.msg.dst.0, at);
                 let d = Delivery {
                     msg: st.msg,
                     injected_at: st.injected_at,
@@ -303,6 +311,8 @@ impl OmeshSim {
             let seg = st.route.seg(self.side, st.hop);
             if self.seg_busy[seg].is_none() {
                 self.seg_busy[seg] = Some(id);
+                self.seg_since[seg] = svc_done;
+                obs::sim_event("omesh", "arbitrate", (seg / 4) as u32, svc_done);
                 self.advance_setup(id, svc_done);
             } else {
                 self.seg_wait[seg].push_back(id);
@@ -340,11 +350,15 @@ impl OmeshSim {
             let seg = st.route.seg(self.side, k);
             debug_assert_eq!(self.seg_busy[seg], Some(id), "segment not held by owner");
             self.seg_busy[seg] = None;
+            self.node_busy_ps[seg / 4] += at.saturating_since(self.seg_since[seg]).as_ps();
             if let Some(next_id) = self.seg_wait[seg].pop_front() {
                 self.seg_busy[seg] = Some(next_id);
+                self.seg_since[seg] = at;
+                obs::sim_event("omesh", "arbitrate", (seg / 4) as u32, at);
                 self.advance_setup(next_id, at);
             }
         }
+        obs::sim_event("omesh", "deliver", st.msg.dst.0, at);
         let d = Delivery {
             msg: st.msg,
             injected_at: st.injected_at,
@@ -363,6 +377,7 @@ impl NetworkModel for OmeshSim {
     fn inject(&mut self, at: SimTime, msg: Message) {
         let at = at.max(self.q.now());
         self.stats.injected += 1;
+        obs::sim_event("omesh", "inject", msg.src.0, at);
         let id = msg.id.0;
         let electrical = msg.bytes <= self.cfg.ctrl_cutoff_bytes
             || msg.class == MsgClass::Control
@@ -404,6 +419,19 @@ impl NetworkModel for OmeshSim {
 
     fn label(&self) -> &'static str {
         "omesh"
+    }
+
+    fn observe_nodes(&self, out: &mut Vec<NodeObs>) {
+        for node in 0..self.num_nodes() {
+            let queue_depth = (0..4)
+                .map(|d| self.seg_wait[node * 4 + d].len() as u64)
+                .sum();
+            out.push(NodeObs {
+                node: node as u32,
+                queue_depth,
+                link_busy_ps: self.node_busy_ps[node],
+            });
+        }
     }
 }
 

@@ -17,8 +17,9 @@
 use crate::layout::Floorplan;
 use sctm_engine::event::EventQueue;
 use sctm_engine::msgtable::MsgTable;
-use sctm_engine::net::{Delivery, Message, NetStats, NetworkModel};
+use sctm_engine::net::{Delivery, Message, NetStats, NetworkModel, NodeObs};
 use sctm_engine::time::{Freq, SimTime};
+use sctm_obs as obs;
 use sctm_photonic::{ChannelPlan, DeviceKit, LinkBudget, PowerBreakdown};
 
 /// Configuration of the MWSR crossbar.
@@ -93,6 +94,9 @@ pub struct OxbarSim {
     q: EventQueue<Ev>,
     msgs: MsgTable<MsgState>,
     channels: Vec<Channel>,
+    /// Cumulative burst (channel-busy) time per home channel, for
+    /// observability; indexed by the owning destination node.
+    ch_busy_ps: Vec<u64>,
     stats: NetStats,
     optical_bits: u64,
     nodes: u64,
@@ -114,6 +118,7 @@ impl OxbarSim {
                     pending: None,
                 })
                 .collect(),
+            ch_busy_ps: vec![0; n],
             stats: NetStats::default(),
             optical_bits: 0,
             nodes: n as u64,
@@ -218,6 +223,8 @@ impl OxbarSim {
                 let burst = self.cfg.plan.burst_time(st.msg.bytes.max(1));
                 let src_pos = st.msg.src.0 as u64;
                 self.optical_bits += st.msg.bytes.max(1) as u64 * 8;
+                self.ch_busy_ps[ch_idx] += burst.as_ps();
+                obs::sim_event("oxbar", "arbitrate", ch_idx as u32, at);
                 let end = at + burst;
                 let ch = &mut self.channels[ch_idx];
                 ch.pending = None;
@@ -238,6 +245,7 @@ impl OxbarSim {
             }
             Ev::Deliver(id) => {
                 let st = self.msgs.remove(id).expect("deliver for unknown msg");
+                obs::sim_event("oxbar", "deliver", st.msg.dst.0, at);
                 let d = Delivery {
                     msg: st.msg,
                     injected_at: st.injected_at,
@@ -258,6 +266,7 @@ impl NetworkModel for OxbarSim {
     fn inject(&mut self, at: SimTime, msg: Message) {
         let at = at.max(self.q.now());
         self.stats.injected += 1;
+        obs::sim_event("oxbar", "inject", msg.src.0, at);
         let id = msg.id.0;
         let prev = self.msgs.insert(
             id,
@@ -291,6 +300,16 @@ impl NetworkModel for OxbarSim {
 
     fn label(&self) -> &'static str {
         "oxbar"
+    }
+
+    fn observe_nodes(&self, out: &mut Vec<NodeObs>) {
+        for (i, ch) in self.channels.iter().enumerate() {
+            out.push(NodeObs {
+                node: i as u32,
+                queue_depth: ch.waiting.len() as u64 + ch.pending.is_some() as u64,
+                link_busy_ps: self.ch_busy_ps[i],
+            });
+        }
     }
 }
 

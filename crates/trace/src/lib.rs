@@ -26,6 +26,7 @@ pub mod replay;
 
 pub use log::{Capture, TraceLog, TraceRecord};
 pub use online::{OnlineCorrected, ShadowFactory};
+pub use persist::TraceError;
 pub use replay::{
     pair_corrections, replay_fixed, replay_fixed_with, replay_oracle, replay_oracle_with,
     replay_sctm_pass, replay_sctm_pass_ordered, replay_sctm_pass_ordered_with,

@@ -15,6 +15,50 @@ use std::path::Path;
 
 const MAGIC: &str = "sctm-trace-v1";
 
+/// Why a trace file failed to parse. Every malformed input maps to a
+/// specific variant — parsing never panics, whatever the bytes.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub enum TraceError {
+    /// First line does not start with the `sctm-trace-v1` magic.
+    BadMagic,
+    /// The file ends (or a line ends) before all expected data: a
+    /// missing metadata/header line or a record with the wrong field
+    /// count. `line` is 1-based.
+    Truncated { line: usize },
+    /// A numeric field failed to parse. `field` names the column.
+    NonNumeric { line: usize, field: &'static str },
+    /// A numeric field parsed but exceeds its type's range (node ids
+    /// and byte counts are `u32`).
+    OutOfRange { line: usize, field: &'static str },
+    /// Message class column was neither `C` nor `D`.
+    BadClass { line: usize },
+    /// Underlying file I/O failed.
+    Io(String),
+    /// The records parsed but violate trace invariants
+    /// ([`TraceLog::validate`] — causality, duplicate ids...).
+    Invalid(String),
+}
+
+impl std::fmt::Display for TraceError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            TraceError::BadMagic => write!(f, "not a {MAGIC} file"),
+            TraceError::Truncated { line } => write!(f, "line {line}: truncated"),
+            TraceError::NonNumeric { line, field } => {
+                write!(f, "line {line}: non-numeric {field}")
+            }
+            TraceError::OutOfRange { line, field } => {
+                write!(f, "line {line}: {field} out of range")
+            }
+            TraceError::BadClass { line } => write!(f, "line {line}: bad message class"),
+            TraceError::Io(e) => write!(f, "trace file i/o: {e}"),
+            TraceError::Invalid(e) => write!(f, "invalid trace: {e}"),
+        }
+    }
+}
+
+impl std::error::Error for TraceError {}
+
 impl TraceLog {
     /// Serialise to the CSV trace format.
     pub fn to_csv_string(&self) -> String {
@@ -54,15 +98,18 @@ impl TraceLog {
         out
     }
 
-    /// Parse the CSV trace format.
-    pub fn from_csv_str(s: &str) -> Result<TraceLog, String> {
+    /// Parse the CSV trace format. Malformed input of any shape — bad
+    /// magic, truncated lines, non-numeric or out-of-range fields —
+    /// returns the matching [`TraceError`] variant; parsing never
+    /// panics.
+    pub fn from_csv_str(s: &str) -> Result<TraceLog, TraceError> {
         let mut lines = s.lines();
-        let meta = lines.next().ok_or("empty trace file")?;
+        let meta = lines.next().ok_or(TraceError::Truncated { line: 1 })?;
         let mut mp = meta.split(',');
         if mp.next() != Some(MAGIC) {
-            return Err(format!("not a {MAGIC} file"));
+            return Err(TraceError::BadMagic);
         }
-        let capture_net: &str = mp.next().ok_or("missing capture net")?;
+        let capture_net: &str = mp.next().ok_or(TraceError::Truncated { line: 1 })?;
         let capture_net: &'static str = match capture_net {
             "analytic" => "analytic",
             "emesh" => "emesh",
@@ -73,34 +120,43 @@ impl TraceLog {
         };
         let exec_ps: u64 = mp
             .next()
-            .ok_or("missing exec time")?
+            .ok_or(TraceError::Truncated { line: 1 })?
             .parse()
-            .map_err(|e| format!("bad exec time: {e}"))?;
-        let header = lines.next().ok_or("missing header line")?;
+            .map_err(|_| TraceError::NonNumeric {
+                line: 1,
+                field: "exec_time",
+            })?;
+        let header = lines.next().ok_or(TraceError::Truncated { line: 2 })?;
         if !header.starts_with("id,") {
-            return Err("missing column header".into());
+            return Err(TraceError::Truncated { line: 2 });
         }
         let mut records = Vec::new();
         for (ln, line) in lines.enumerate() {
             if line.is_empty() {
                 continue;
             }
+            let lineno = ln + 3;
             let f: Vec<&str> = line.split(',').collect();
             if f.len() != 10 {
-                return Err(format!(
-                    "line {}: expected 10 fields, got {}",
-                    ln + 3,
-                    f.len()
-                ));
+                return Err(TraceError::Truncated { line: lineno });
             }
-            let parse_u64 = |s: &str, what: &str| -> Result<u64, String> {
-                s.parse()
-                    .map_err(|e| format!("line {}: bad {what}: {e}", ln + 3))
+            let parse_u64 = |s: &str, field: &'static str| -> Result<u64, TraceError> {
+                s.parse().map_err(|_| TraceError::NonNumeric {
+                    line: lineno,
+                    field,
+                })
+            };
+            let parse_u32 = |s: &str, field: &'static str| -> Result<u32, TraceError> {
+                let v = parse_u64(s, field)?;
+                u32::try_from(v).map_err(|_| TraceError::OutOfRange {
+                    line: lineno,
+                    field,
+                })
             };
             let class = match f[3] {
                 "C" => MsgClass::Control,
                 "D" => MsgClass::Data,
-                other => return Err(format!("line {}: bad class {other}", ln + 3)),
+                _ => return Err(TraceError::BadClass { line: lineno }),
             };
             let prev = if f[7].is_empty() {
                 None
@@ -135,10 +191,10 @@ impl TraceLog {
             records.push(TraceRecord {
                 msg: Message {
                     id: MsgId(parse_u64(f[0], "id")?),
-                    src: NodeId(parse_u64(f[1], "src")? as u32),
-                    dst: NodeId(parse_u64(f[2], "dst")? as u32),
+                    src: NodeId(parse_u32(f[1], "src")?),
+                    dst: NodeId(parse_u32(f[2], "dst")?),
                     class,
-                    bytes: parse_u64(f[4], "bytes")? as u32,
+                    bytes: parse_u32(f[4], "bytes")?,
                 },
                 t_inject: SimTime::from_ps(parse_u64(f[5], "t_inject")?),
                 t_deliver: SimTime::from_ps(parse_u64(f[6], "t_deliver")?),
@@ -152,7 +208,7 @@ impl TraceLog {
             capture_net,
             capture_exec_time: SimTime::from_ps(exec_ps),
         };
-        log.validate()?;
+        log.validate().map_err(TraceError::Invalid)?;
         Ok(log)
     }
 
@@ -165,8 +221,8 @@ impl TraceLog {
     }
 
     /// Read from a file.
-    pub fn load(path: impl AsRef<Path>) -> Result<TraceLog, String> {
-        let s = std::fs::read_to_string(path).map_err(|e| e.to_string())?;
+    pub fn load(path: impl AsRef<Path>) -> Result<TraceLog, TraceError> {
+        let s = std::fs::read_to_string(path).map_err(|e| TraceError::Io(e.to_string()))?;
         Self::from_csv_str(&s)
     }
 }
@@ -237,18 +293,112 @@ mod tests {
         let _ = std::fs::remove_file(path);
     }
 
+    /// A syntactically valid one-record trace with `line` substituted
+    /// for the record line, for error-variant tests.
+    fn with_record(record: &str) -> String {
+        format!(
+            "{MAGIC},analytic,5000\nid,src,dst,class,bytes,t_inject_ps,t_deliver_ps,prev,deps,kind\n{record}\n"
+        )
+    }
+
     #[test]
     fn rejects_garbage() {
-        assert!(TraceLog::from_csv_str("").is_err());
-        assert!(TraceLog::from_csv_str("nonsense,analytic,5\nid,...\n").is_err());
-        // wrong field count
-        let bad = format!("{MAGIC},analytic,5\nid,src,dst,class,bytes,t_inject_ps,t_deliver_ps,prev,deps,kind\n1,2,3\n");
-        assert!(TraceLog::from_csv_str(&bad).is_err());
-        // causality violation rejected by validate()
-        let bad = format!(
-            "{MAGIC},analytic,5000\nid,src,dst,class,bytes,t_inject_ps,t_deliver_ps,prev,deps,kind\n0,0,1,C,8,100,50,,,GetS\n"
+        assert_eq!(
+            TraceLog::from_csv_str("").err(),
+            Some(TraceError::Truncated { line: 1 })
         );
-        assert!(TraceLog::from_csv_str(&bad).is_err());
+        assert_eq!(
+            TraceLog::from_csv_str("nonsense,analytic,5\nid,...\n").err(),
+            Some(TraceError::BadMagic)
+        );
+        // metadata line missing the exec-time field
+        assert_eq!(
+            TraceLog::from_csv_str(&format!("{MAGIC},analytic\nid,\n")).err(),
+            Some(TraceError::Truncated { line: 1 })
+        );
+        // no column header at all
+        assert_eq!(
+            TraceLog::from_csv_str(&format!("{MAGIC},analytic,5\n")).err(),
+            Some(TraceError::Truncated { line: 2 })
+        );
+    }
+
+    #[test]
+    fn rejects_truncated_record() {
+        assert_eq!(
+            TraceLog::from_csv_str(&with_record("1,2,3")).err(),
+            Some(TraceError::Truncated { line: 3 })
+        );
+    }
+
+    #[test]
+    fn rejects_non_numeric_fields() {
+        let cases = [
+            ("x,0,1,C,8,100,900,,,GetS", "id"),
+            ("0,x,1,C,8,100,900,,,GetS", "src"),
+            ("0,0,x,C,8,100,900,,,GetS", "dst"),
+            ("0,0,1,C,x,100,900,,,GetS", "bytes"),
+            ("0,0,1,C,8,x,900,,,GetS", "t_inject"),
+            ("0,0,1,C,8,100,x,,,GetS", "t_deliver"),
+            ("0,0,1,C,8,100,900,x,,GetS", "prev"),
+            ("0,0,1,C,8,100,900,,0;x,GetS", "dep"),
+        ];
+        for (record, field) in cases {
+            assert_eq!(
+                TraceLog::from_csv_str(&with_record(record)).err(),
+                Some(TraceError::NonNumeric { line: 3, field }),
+                "record {record:?}"
+            );
+        }
+        assert_eq!(
+            TraceLog::from_csv_str(&format!("{MAGIC},analytic,zzz\nid,\n")).err(),
+            Some(TraceError::NonNumeric {
+                line: 1,
+                field: "exec_time"
+            })
+        );
+    }
+
+    #[test]
+    fn rejects_out_of_range_ids() {
+        // node ids and byte counts are u32; values that parse as u64
+        // but overflow u32 must be flagged, not silently truncated.
+        let cases = [
+            ("0,4294967296,1,C,8,100,900,,,GetS", "src"),
+            ("0,0,4294967296,C,8,100,900,,,GetS", "dst"),
+            ("0,0,1,C,4294967296,100,900,,,GetS", "bytes"),
+        ];
+        for (record, field) in cases {
+            assert_eq!(
+                TraceLog::from_csv_str(&with_record(record)).err(),
+                Some(TraceError::OutOfRange { line: 3, field }),
+                "record {record:?}"
+            );
+        }
+    }
+
+    #[test]
+    fn rejects_bad_class() {
+        assert_eq!(
+            TraceLog::from_csv_str(&with_record("0,0,1,Q,8,100,900,,,GetS")).err(),
+            Some(TraceError::BadClass { line: 3 })
+        );
+    }
+
+    #[test]
+    fn rejects_invariant_violations() {
+        // delivered before injected — caught by validate(), surfaced
+        // as Invalid rather than a panic.
+        assert!(matches!(
+            TraceLog::from_csv_str(&with_record("0,0,1,C,8,100,50,,,GetS")),
+            Err(TraceError::Invalid(_))
+        ));
+    }
+
+    #[test]
+    fn load_missing_file_is_io_error() {
+        let path = std::env::temp_dir().join("sctm_no_such_trace_file.csv");
+        assert!(matches!(TraceLog::load(&path), Err(TraceError::Io(_))));
     }
 
     #[test]

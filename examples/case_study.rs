@@ -5,13 +5,22 @@
 //! ```text
 //! cargo run --release --example case_study             # 16 cores
 //! cargo run --release --example case_study -- 8 1200   # 64 cores, longer run
+//! SCTM_OBS=1 cargo run --release --example case_study  # + Perfetto trace
 //! ```
+//!
+//! With `SCTM_OBS=1` the run is fully instrumented: every simulation
+//! phase becomes a host-time span, every message hop a sim-time
+//! instant, and the example writes `case_study_trace.json` (open it at
+//! <https://ui.perfetto.dev>) plus `case_study_manifest.json` with
+//! metric snapshots and per-iteration convergence telemetry.
 
 use sctm::engine::table::{fnum, Table};
+use sctm::obs;
 use sctm::workloads::Kernel;
 use sctm::{accuracy, Experiment, Mode, NetworkKind, SystemConfig};
 
 fn main() {
+    obs::init_from_env();
     let args: Vec<String> = std::env::args().skip(1).collect();
     let side: usize = args.first().and_then(|s| s.parse().ok()).unwrap_or(4);
     let ops: usize = args.get(1).and_then(|s| s.parse().ok()).unwrap_or(600);
@@ -69,4 +78,20 @@ fn main() {
         acc.exec_time_err_pct,
         sctm.wall.as_secs_f64() / baseline.wall.as_secs_f64()
     );
+
+    if obs::enabled() {
+        let trace = obs::chrome_trace_json(&obs::drain());
+        let mut manifest = obs::Manifest::new();
+        manifest.config("kernel", kernel.label());
+        manifest.config("cores", side * side);
+        manifest.config("ops", ops);
+        manifest.metrics = obs::global_snapshot();
+        manifest.iterations = obs::iterations_snapshot();
+        std::fs::write("case_study_trace.json", trace).expect("write trace");
+        std::fs::write("case_study_manifest.json", manifest.to_json()).expect("write manifest");
+        eprintln!(
+            "obs: wrote case_study_trace.json (open at https://ui.perfetto.dev) \
+             and case_study_manifest.json"
+        );
+    }
 }

@@ -92,3 +92,30 @@ fn results_stay_in_input_order_with_skewed_job_costs() {
 fn executor_reports_at_least_one_worker() {
     assert!(num_threads() >= 1);
 }
+
+#[test]
+fn tracing_state_never_changes_results() {
+    // The observability layer must be write-only: enabling tracing and
+    // metrics collection may cost wall time, never alter a simulation
+    // result. Fingerprints (including float bit patterns) must be
+    // byte-identical with tracing off, on, and off again, serial and
+    // parallel, at whatever SCTM_NUM_THREADS this test runs under.
+    use sctm::obs;
+
+    let baseline = par_map(grid());
+    obs::set_enabled(true);
+    let traced_parallel = par_map(grid());
+    let traced_serial = serial_map(grid());
+    let events = obs::drain();
+    obs::set_enabled(false);
+    obs::drain(); // leave no residue for other tests in this binary
+    let after = par_map(grid());
+
+    assert!(
+        !events.is_empty(),
+        "tracing was enabled but no events were recorded"
+    );
+    assert_eq!(baseline, traced_parallel, "tracing-on parallel diverged");
+    assert_eq!(baseline, traced_serial, "tracing-on serial diverged");
+    assert_eq!(baseline, after, "disabling tracing left state behind");
+}

@@ -6,7 +6,8 @@
 //! tables --exp e3 e7       # a subset
 //! tables --csv              # machine-readable tables as well
 //! tables --json             # run manifest JSON on stdout
-//! tables --obs-dir out/     # write trace.json + manifest.json to out/
+//! tables --obs-dir out/     # write trace/manifest/blame/flamegraph to out/
+//! tables --bench-json f.json # per-phase wall times as sctm-bench-v1
 //! SCTM_OBS=1 tables         # enable tracing without flags
 //! ```
 //!
@@ -16,9 +17,19 @@
 //! machine-readable manifest: config, per-phase wall times, metric
 //! snapshots from every network touched, and per-iteration convergence
 //! telemetry. `out/trace.json` loads directly in <https://ui.perfetto.dev>.
+//!
+//! `--obs-dir` additionally runs two instrumented profile passes
+//! (fft on omesh and on oxbar) and writes `blame.json` — per-class
+//! latency blame plus the critical path — and `critpath.folded`, a
+//! folded-stack file for flamegraph tooling. The sampled per-node
+//! counter series ride along as Perfetto counter tracks in
+//! `trace.json` and as a `series` section in the manifest.
 
 use sctm_bench::{num_threads, run_experiment, Scale, EXPERIMENT_IDS};
+use sctm_core::{Experiment, Mode, NetworkKind, SystemConfig};
 use sctm_obs as obs;
+use sctm_prof as prof;
+use sctm_workloads::Kernel;
 
 fn main() {
     let args: Vec<String> = std::env::args().skip(1).collect();
@@ -28,6 +39,11 @@ fn main() {
     let obs_dir: Option<std::path::PathBuf> = args
         .iter()
         .position(|a| a == "--obs-dir")
+        .and_then(|i| args.get(i + 1))
+        .map(|p| p.into());
+    let bench_json: Option<std::path::PathBuf> = args
+        .iter()
+        .position(|a| a == "--bench-json")
         .and_then(|i| args.get(i + 1))
         .map(|p| p.into());
     let wanted: Vec<String> = {
@@ -79,9 +95,38 @@ fn main() {
     let total_ms = t0.elapsed().as_secs_f64() * 1e3;
     eprintln!("# total wall time: {:.1}s", total_ms / 1e3);
 
+    if let Some(path) = &bench_json {
+        let mut bf = prof::BenchFile::new();
+        for &(id, wall_ms) in &phases {
+            bf.benches.push(phase_record(id, wall_ms));
+        }
+        bf.benches.push(phase_record("total", total_ms));
+        std::fs::write(path, bf.to_json()).expect("write --bench-json");
+        eprintln!("# bench: wrote {}", path.display());
+    }
+
     if !obs::enabled() {
         return;
     }
+
+    // Instrumented profile passes: a self-correcting replay of fft on
+    // each photonic target with lifecycle capture and per-node gauge
+    // sampling on. Blame analysis and the counter tracks come from
+    // these, not from the (uninstrumented) experiment runs above.
+    let mut profiles = Vec::new();
+    if obs_dir.is_some() {
+        for kind in [NetworkKind::Omesh, NetworkKind::Oxbar] {
+            let _span = obs::span("bench", "profile");
+            let exp = Experiment::new(SystemConfig::new(scale.side(), kind), Kernel::Fft)
+                .with_ops(scale.ops().min(400));
+            let log = exp.capture();
+            let (_, profile) =
+                exp.run_with_trace_profiled(&log, Mode::SelfCorrection { max_iters: 1 });
+            let blame = prof::analyze(kind.label(), "fft", &profile.log, &profile.lifecycles);
+            profiles.push((blame, profile.series));
+        }
+    }
+
     let mut manifest = obs::Manifest::new();
     manifest.config("scale", format!("{scale:?}").to_lowercase());
     manifest.config("threads", num_threads());
@@ -99,18 +144,51 @@ fn main() {
     manifest.phase("total", total_ms);
     manifest.metrics = obs::global_snapshot();
     manifest.iterations = obs::iterations_snapshot();
+    for (_, series) in &profiles {
+        manifest.series.push(series.clone());
+    }
     let manifest_json = manifest.to_json();
     if json {
         println!("{manifest_json}");
     }
     if let Some(dir) = &obs_dir {
         std::fs::create_dir_all(dir).expect("create --obs-dir");
-        let trace = obs::chrome_trace_json(&obs::drain());
+        // Counter tracks from the first (omesh) profile pass; a second
+        // run's node gauges would collide with the same track names.
+        let empty = obs::SeriesStore::default();
+        let series = profiles.first().map_or(&empty, |(_, s)| s);
+        let trace = obs::chrome_trace_with_series(&obs::drain(), series);
         std::fs::write(dir.join("trace.json"), trace).expect("write trace.json");
         std::fs::write(dir.join("manifest.json"), &manifest_json).expect("write manifest.json");
+        let mut blame_doc = String::from("[\n");
+        let mut folded = String::new();
+        for (i, (blame, _)) in profiles.iter().enumerate() {
+            if i > 0 {
+                blame_doc.push_str(",\n");
+            }
+            blame_doc.push_str(&blame.to_json());
+            folded.push_str(&blame.to_folded());
+        }
+        blame_doc.push_str("\n]\n");
+        std::fs::write(dir.join("blame.json"), blame_doc).expect("write blame.json");
+        std::fs::write(dir.join("critpath.folded"), folded).expect("write critpath.folded");
         eprintln!(
-            "# obs: wrote {0}/trace.json and {0}/manifest.json — open trace.json at https://ui.perfetto.dev",
+            "# obs: wrote trace.json, manifest.json, blame.json, critpath.folded to {} — open trace.json at https://ui.perfetto.dev",
             dir.display()
         );
+    }
+}
+
+/// A single-sample bench record from one phase's wall time.
+fn phase_record(id: &str, wall_ms: f64) -> prof::BenchRecord {
+    let ns = wall_ms * 1e6;
+    prof::BenchRecord {
+        id: format!("tables/{id}"),
+        samples: 1,
+        min_ns: ns,
+        p25_ns: ns,
+        median_ns: ns,
+        p75_ns: ns,
+        max_ns: ns,
     }
 }

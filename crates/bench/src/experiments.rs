@@ -685,8 +685,13 @@ mod tests {
         let t = e7_power_budget(Scale::Quick);
         let csv = t.to_csv();
         let lines: Vec<&str> = csv.lines().collect();
-        let get =
-            |line: &str, idx: usize| -> f64 { line.split(',').nth(idx).unwrap().parse().unwrap() };
+        let get = |line: &str, idx: usize| -> f64 {
+            line.split(',')
+                .nth(idx)
+                .unwrap_or_else(|| panic!("e7 csv row '{line}' has no column {idx}"))
+                .parse()
+                .unwrap_or_else(|e| panic!("e7 csv column {idx} of '{line}' is not a number: {e}"))
+        };
         let mesh_total = get(lines[1], 6);
         let xbar_total = get(lines[2], 6);
         assert!(xbar_total > mesh_total, "{xbar_total} !> {mesh_total}");
@@ -707,10 +712,18 @@ mod tests {
                 .find(|r| {
                     r[0] == net
                         && r[1] == "uniform"
-                        && (r[2].parse::<f64>().unwrap() - rate).abs() < 1e-9
+                        && (r[2]
+                            .parse::<f64>()
+                            .expect("e6 csv 'rate' column is not a number")
+                            - rate)
+                            .abs()
+                            < 1e-9
                 })
-                .map(|r| r[3].parse().unwrap())
-                .unwrap()
+                .map(|r| {
+                    r[3].parse()
+                        .expect("e6 csv 'latency' column is not a number")
+                })
+                .unwrap_or_else(|| panic!("e6 csv has no uniform row for {net} at rate {rate}"))
         };
         assert!(lat("emesh", 0.04) >= lat("emesh", 0.01));
     }
@@ -724,10 +737,15 @@ mod tests {
             .skip(1)
             .map(|l| l.split(',').map(|s| s.to_string()).collect())
             .collect();
-        let classic_at =
-            |f: &str| -> f64 { rows.iter().find(|r| r[0] == f).unwrap()[1].parse().unwrap() };
-        let sctm_at =
-            |f: &str| -> f64 { rows.iter().find(|r| r[0] == f).unwrap()[2].parse().unwrap() };
+        let err_at = |f: &str, col: usize, mode: &str| -> f64 {
+            rows.iter()
+                .find(|r| r[0] == f)
+                .unwrap_or_else(|| panic!("e8 csv has no row for capture factor {f}"))[col]
+                .parse()
+                .unwrap_or_else(|e| panic!("e8 csv '{mode}' error at {f} is not a number: {e}"))
+        };
+        let classic_at = |f: &str| -> f64 { err_at(f, 1, "classic") };
+        let sctm_at = |f: &str| -> f64 { err_at(f, 2, "sctm") };
         // A 4x-wrong capture model wrecks the classic trace…
         assert!(classic_at("4x") > 3.0 * classic_at("1x").max(1.0));
         // …while the self-correcting pass stays in single digits.

@@ -34,7 +34,7 @@ pub mod modes;
 
 pub use config::{NetworkKind, SystemConfig};
 pub use metrics::{accuracy, Accuracy, RunReport};
-pub use modes::{Experiment, Mode};
+pub use modes::{Experiment, Mode, ProfileCapture};
 
 // Component-crate re-exports for downstream users.
 pub use sctm_cmp as cmp;

@@ -9,7 +9,7 @@
 use crate::config::SystemConfig;
 use crate::metrics::{IterStats, RunReport};
 use sctm_cmp::{CmpSim, NullHook};
-use sctm_engine::net::{AnalyticNetwork, MsgClass, NodeId};
+use sctm_engine::net::{AnalyticNetwork, MsgClass, MsgLifecycle, NetworkModel, NodeId};
 use sctm_engine::time::SimTime;
 use sctm_obs as obs;
 use sctm_trace::replay::{
@@ -49,6 +49,21 @@ impl Mode {
             Mode::Online { .. } => "online",
         }
     }
+}
+
+/// Everything a profiled run captured, ready for `sctm-prof` analysis:
+/// the trace (dependency DAG), the per-message lifecycle records from
+/// the detailed replay, and the sampled time-series gauges.
+pub struct ProfileCapture {
+    pub log: TraceLog,
+    pub lifecycles: Vec<MsgLifecycle>,
+    pub series: obs::SeriesStore,
+}
+
+/// Sampling interval for profiled runs: ~100 snapshots across the
+/// run, floored at 1 ns so degenerate tiny runs still sample.
+fn profile_interval(total: SimTime) -> SimTime {
+    SimTime::from_ps((total.as_ps() / 100).max(1_000))
 }
 
 /// A workload bound to a simulated system.
@@ -213,6 +228,68 @@ impl Experiment {
             messages: log.len() as u64,
             wall: wall0.elapsed(),
             iterations: Some(iters),
+        }
+    }
+
+    /// Run the full self-correction loop, then re-run the converged
+    /// trace once more through an instrumented target network —
+    /// lifecycle capture on, wrapped in a [`obs::SampledNetwork`] — and
+    /// return the profiling artefacts next to the report. The extra
+    /// pass is deterministic, so the blame totals it yields describe
+    /// exactly the replay the report's numbers came from.
+    pub fn run_self_correction_profiled(&self, max_iters: usize) -> (RunReport, ProfileCapture) {
+        let report = self.run_self_correction(max_iters);
+        // Re-capture on the *converged* corrected model would require
+        // threading the model out of the loop; the final iteration's
+        // trace is equivalent for profiling purposes because the loop
+        // exits only when consecutive captures agree to < 0.5%.
+        let log = self.capture();
+        let profile = self.profile_replay(&log, Mode::SelfCorrection { max_iters });
+        (report, profile)
+    }
+
+    /// Replay `log` in the given trace mode on an instrumented target
+    /// network and return the captured profile.
+    pub fn run_with_trace_profiled(
+        &self,
+        log: &TraceLog,
+        mode: Mode,
+    ) -> (RunReport, ProfileCapture) {
+        let report = self.run_with_trace(log, mode, None);
+        let profile = self.profile_replay(log, mode);
+        (report, profile)
+    }
+
+    /// The instrumented replay shared by the profiled entry points:
+    /// lifecycle capture enabled on the detailed network, the whole
+    /// thing wrapped in a sampling decorator for time-series gauges.
+    fn profile_replay(&self, log: &TraceLog, mode: Mode) -> ProfileCapture {
+        let _span = obs::span("sctm", "profile");
+        let side = self.system.side;
+        let kind = self.system.network;
+        let interval = profile_interval(log.capture_exec_time);
+        let mut net =
+            obs::SampledNetwork::new(SystemConfig::make_network_kind(side, kind), interval);
+        net.set_lifecycle_capture(true);
+        match mode {
+            Mode::ClassicTrace => {
+                replay_fixed(log, &mut net);
+            }
+            Mode::OracleTrace => {
+                replay_oracle(log, &mut net);
+            }
+            Mode::SelfCorrection { .. } => {
+                replay_sctm_pass(log, &mut net);
+            }
+            _ => panic!("profile_replay called with non-trace mode {mode:?}"),
+        }
+        let mut lifecycles = Vec::new();
+        net.take_lifecycles(&mut lifecycles);
+        let (_, series) = net.into_parts();
+        ProfileCapture {
+            log: log.clone(),
+            lifecycles,
+            series,
         }
     }
 

@@ -144,6 +144,72 @@ pub struct NodeObs {
     pub link_busy_ps: u64,
 }
 
+/// Where one message's end-to-end latency went, in picoseconds.
+///
+/// Every model decomposes into the same five bins so blame totals are
+/// comparable across architectures; the invariant — checked by
+/// `tests/prof_properties.rs` — is that the five components sum
+/// *exactly* to `delivered_at - injected_at`.
+#[derive(Clone, Copy, Debug, Default, PartialEq, Eq)]
+pub struct LatencyBreakdown {
+    /// Waiting for a resource held by *other* traffic (source/dest
+    /// serialisation, blocked path segments, router buffers).
+    pub queue_ps: u64,
+    /// Deciding who goes next: token wait, setup-path arbitration,
+    /// router allocation stages, circuit acknowledgements.
+    pub arbitration_ps: u64,
+    /// Pushing the payload through the bottleneck link (burst or flit
+    /// serialisation, ejection).
+    pub serialization_ps: u64,
+    /// Time of flight: waveguide/wire propagation, per-hop link
+    /// traversal.
+    pub propagation_ps: u64,
+    /// Fixed interface costs that fit no other bin (NI latency,
+    /// rounding residue of corrected analytic latencies).
+    pub overhead_ps: u64,
+}
+
+impl LatencyBreakdown {
+    #[inline]
+    pub fn total_ps(&self) -> u64 {
+        self.queue_ps
+            + self.arbitration_ps
+            + self.serialization_ps
+            + self.propagation_ps
+            + self.overhead_ps
+    }
+
+    /// `(label, value)` pairs in a fixed report order.
+    pub fn components(&self) -> [(&'static str, u64); 5] {
+        [
+            ("queue", self.queue_ps),
+            ("arbitration", self.arbitration_ps),
+            ("serialization", self.serialization_ps),
+            ("propagation", self.propagation_ps),
+            ("overhead", self.overhead_ps),
+        ]
+    }
+}
+
+/// One message's full journey through a network model: the [`Delivery`]
+/// endpoints plus the per-component latency decomposition. Collected by
+/// models only while [`NetworkModel::set_lifecycle_capture`] is on, and
+/// harvested with [`NetworkModel::take_lifecycles`].
+#[derive(Clone, Copy, Debug)]
+pub struct MsgLifecycle {
+    pub msg: Message,
+    pub injected_at: SimTime,
+    pub delivered_at: SimTime,
+    pub breakdown: LatencyBreakdown,
+}
+
+impl MsgLifecycle {
+    #[inline]
+    pub fn latency_ps(&self) -> u64 {
+        self.delivered_at.saturating_since(self.injected_at).as_ps()
+    }
+}
+
 /// Pull-based co-simulation interface implemented by every interconnect.
 pub trait NetworkModel {
     /// Number of endpoints.
@@ -187,6 +253,20 @@ pub trait NetworkModel {
     /// state (analytic, hybrid wrappers) may report nothing — the
     /// default.
     fn observe_nodes(&self, _out: &mut Vec<NodeObs>) {}
+
+    /// Turn per-message lifecycle capture on or off. Off by default;
+    /// models that do not implement capture ignore the call (and
+    /// [`Self::lifecycle_capture`] stays `false`).
+    fn set_lifecycle_capture(&mut self, _on: bool) {}
+
+    /// Whether this model is currently recording [`MsgLifecycle`]s.
+    fn lifecycle_capture(&self) -> bool {
+        false
+    }
+
+    /// Move every lifecycle recorded since the last call into `out`
+    /// (appending). Models without capture append nothing.
+    fn take_lifecycles(&mut self, _out: &mut Vec<MsgLifecycle>) {}
 }
 
 /// A contention-free analytic latency model.
@@ -216,10 +296,12 @@ pub struct AnalyticNetwork {
     /// Earliest time each destination can accept its next delivery.
     dst_free: Vec<SimTime>,
     pending: std::collections::BinaryHeap<std::cmp::Reverse<(SimTime, u64, usize)>>,
-    queue: Vec<(Message, SimTime)>,
+    queue: Vec<(Message, SimTime, LatencyBreakdown)>,
     free: Vec<usize>,
     stats: NetStats,
     now: SimTime,
+    capture: bool,
+    lifecycles: Vec<MsgLifecycle>,
 }
 
 impl AnalyticNetwork {
@@ -245,6 +327,8 @@ impl AnalyticNetwork {
             free: Vec::new(),
             stats: NetStats::default(),
             now: SimTime::ZERO,
+            capture: false,
+            lifecycles: Vec::new(),
         }
     }
 
@@ -313,7 +397,22 @@ impl NetworkModel for AnalyticNetwork {
     fn inject(&mut self, at: SimTime, msg: Message) {
         let at = at.max(self.now);
         self.stats.injected += 1;
-        let mut deliver = at + self.model_latency(&msg);
+        let model_lat = self.model_latency(&msg);
+        let mut deliver = at + model_lat;
+        let mut bd = LatencyBreakdown::default();
+        if self.capture {
+            // The correction factor scales the whole analytic formula;
+            // scale serialization/propagation by the same factor and
+            // let the flooring residue land in overhead alongside the
+            // base term, so the five bins sum exactly to the latency.
+            let q = self.correction_q10[self.corr_idx(msg.src, msg.dst, msg.class)] as u64;
+            let hops = self.hops(msg.src, msg.dst);
+            bd.serialization_ps = self.per_byte_ps * msg.bytes as u64 * q / 1024;
+            bd.propagation_ps = self.per_hop.as_ps() * hops * q / 1024;
+            bd.overhead_ps = model_lat
+                .as_ps()
+                .saturating_sub(bd.serialization_ps + bd.propagation_ps);
+        }
         let service_per_byte = self.dst_service_ps_per_byte[msg.dst.idx()];
         if service_per_byte > 0 {
             // Finite ejection bandwidth: serialise behind earlier
@@ -322,14 +421,18 @@ impl NetworkModel for AnalyticNetwork {
             // replay callers).
             let service = SimTime::from_ps(service_per_byte * msg.bytes.max(1) as u64);
             let start = deliver.max(self.dst_free[msg.dst.idx()]);
+            if self.capture {
+                bd.queue_ps = start.saturating_since(deliver).as_ps();
+                bd.serialization_ps += service.as_ps();
+            }
             deliver = start + service;
             self.dst_free[msg.dst.idx()] = deliver;
         }
         let slot = if let Some(i) = self.free.pop() {
-            self.queue[i] = (msg, at);
+            self.queue[i] = (msg, at, bd);
             i
         } else {
-            self.queue.push((msg, at));
+            self.queue.push((msg, at, bd));
             self.queue.len() - 1
         };
         self.pending
@@ -346,7 +449,7 @@ impl NetworkModel for AnalyticNetwork {
                 break;
             }
             self.pending.pop();
-            let (msg, injected_at) = self.queue[slot];
+            let (msg, injected_at, bd) = self.queue[slot];
             self.free.push(slot);
             let d = Delivery {
                 msg,
@@ -354,6 +457,14 @@ impl NetworkModel for AnalyticNetwork {
                 delivered_at: dt,
             };
             self.stats.record_delivery(&d);
+            if self.capture {
+                self.lifecycles.push(MsgLifecycle {
+                    msg,
+                    injected_at,
+                    delivered_at: dt,
+                    breakdown: bd,
+                });
+            }
             out.push(d);
             self.now = dt;
         }
@@ -372,6 +483,18 @@ impl NetworkModel for AnalyticNetwork {
 
     fn label(&self) -> &'static str {
         "analytic"
+    }
+
+    fn set_lifecycle_capture(&mut self, on: bool) {
+        self.capture = on;
+    }
+
+    fn lifecycle_capture(&self) -> bool {
+        self.capture
+    }
+
+    fn take_lifecycles(&mut self, out: &mut Vec<MsgLifecycle>) {
+        out.append(&mut self.lifecycles);
     }
 }
 
@@ -509,6 +632,33 @@ mod tests {
         ids.sort_unstable();
         ids.dedup();
         assert_eq!(ids.len(), 160, "every message delivered exactly once");
+    }
+
+    #[test]
+    fn lifecycle_breakdown_sums_exactly() {
+        let mut n = net();
+        n.set_lifecycle_capture(true);
+        assert!(n.lifecycle_capture());
+        n.set_dst_service(NodeId(1), 5);
+        n.set_correction(NodeId(2), NodeId(15), MsgClass::Control, 1.37);
+        n.inject(SimTime::ZERO, msg(1, 0, 1, 64));
+        n.inject(SimTime::ZERO, msg(2, 0, 1, 64));
+        n.inject(SimTime::ZERO, msg(3, 2, 15, 8));
+        let mut out = Vec::new();
+        n.drain(&mut out);
+        let mut lc = Vec::new();
+        n.take_lifecycles(&mut lc);
+        assert_eq!(lc.len(), 3);
+        for l in &lc {
+            assert_eq!(l.breakdown.total_ps(), l.latency_ps(), "{l:?}");
+        }
+        // The second message to the serialised destination queued
+        // behind the first.
+        assert!(lc.iter().any(|l| l.breakdown.queue_ps > 0));
+        // take_lifecycles drains.
+        let mut again = Vec::new();
+        n.take_lifecycles(&mut again);
+        assert!(again.is_empty());
     }
 
     #[test]

@@ -20,7 +20,9 @@
 use crate::packet::{Flit, PacketizeConfig, Reassembly};
 use crate::topology::{Port, Routing, Topology, DIRS, NUM_PORTS};
 use sctm_engine::msgtable::MsgTable;
-use sctm_engine::net::{Delivery, Message, NetStats, NetworkModel, NodeObs};
+use sctm_engine::net::{
+    Delivery, LatencyBreakdown, Message, MsgLifecycle, NetStats, NetworkModel, NodeObs,
+};
 use sctm_engine::time::{Freq, SimTime};
 use sctm_obs as obs;
 use std::cmp::Reverse;
@@ -124,6 +126,8 @@ pub struct NocSim {
     stall_cycles: u64,
     /// Cumulative outbound-link occupancy per node, in flit-cycles.
     link_busy_cycles: Vec<u64>,
+    capture: bool,
+    lifecycles: Vec<MsgLifecycle>,
 }
 
 /// A full network that has made no forward progress for this many cycles
@@ -179,6 +183,8 @@ impl NocSim {
             stats: NetStats::default(),
             stall_cycles: 0,
             link_busy_cycles: vec![0; n],
+            capture: false,
+            lifecycles: Vec::new(),
         }
     }
 
@@ -440,16 +446,21 @@ impl NocSim {
                     // start of the cycle would deliver into the past.
                     self.active_flits -= 1;
                     if let Some((msg, injected_at)) = self.sink[node].eject(&flit) {
-                        obs::sim_event(
-                            "emesh",
-                            "deliver",
-                            node as u32,
-                            self.time_of(self.cycle + 1),
-                        );
+                        let delivered_at = self.time_of(self.cycle + 1);
+                        obs::sim_event("emesh", "deliver", node as u32, delivered_at);
+                        if self.capture {
+                            let bd = self.breakdown(&msg, injected_at, delivered_at);
+                            self.lifecycles.push(MsgLifecycle {
+                                msg,
+                                injected_at,
+                                delivered_at,
+                                breakdown: bd,
+                            });
+                        }
                         let d = Delivery {
                             msg,
                             injected_at,
-                            delivered_at: self.time_of(self.cycle + 1),
+                            delivered_at,
                         };
                         self.stats.record_delivery(&d);
                         out.push(d);
@@ -492,6 +503,50 @@ impl NocSim {
 
     fn idle(&self) -> bool {
         self.active_flits == 0
+    }
+
+    /// Latency decomposition for a delivered message. The pipeline terms
+    /// (routing/arbitration stages, link traversal, serialization) are
+    /// analytic — the wormhole router is a fixed pipeline, so their
+    /// zero-load shares are exact — and everything above zero-load is
+    /// contention, booked as queueing. On the rare boundary where the
+    /// measured latency undercuts the zero-load model (injection-edge
+    /// rounding, or adaptive routes shorter than the minimal-path
+    /// estimate never happen but misalignment can shave a cycle), the
+    /// fixed terms are trimmed so the five bins always sum exactly.
+    fn breakdown(
+        &self,
+        msg: &Message,
+        injected_at: SimTime,
+        delivered_at: SimTime,
+    ) -> LatencyBreakdown {
+        let p = self.cfg.freq.period().as_ps();
+        let hops = self.cfg.topology.hops(msg.src, msg.dst) as u64;
+        let flits = self.cfg.pkt.flit_count(msg.bytes) as u64;
+        let mut bd = LatencyBreakdown {
+            propagation_ps: self.cfg.link_cycles * hops * p,
+            arbitration_ps: self.cfg.router_stages * (hops + 1) * p,
+            serialization_ps: (flits - 1) * p,
+            ..LatencyBreakdown::default()
+        };
+        let lat = delivered_at.saturating_since(injected_at).as_ps();
+        let fixed = bd.total_ps();
+        if fixed <= lat {
+            bd.queue_ps = lat - fixed;
+        } else {
+            let mut over = fixed - lat;
+            for slot in [
+                &mut bd.serialization_ps,
+                &mut bd.arbitration_ps,
+                &mut bd.propagation_ps,
+            ] {
+                let cut = over.min(*slot);
+                *slot -= cut;
+                over -= cut;
+            }
+            debug_assert_eq!(over, 0);
+        }
+        bd
     }
 }
 
@@ -553,6 +608,18 @@ impl NetworkModel for NocSim {
 
     fn label(&self) -> &'static str {
         "emesh"
+    }
+
+    fn set_lifecycle_capture(&mut self, on: bool) {
+        self.capture = on;
+    }
+
+    fn lifecycle_capture(&self) -> bool {
+        self.capture
+    }
+
+    fn take_lifecycles(&mut self, out: &mut Vec<MsgLifecycle>) {
+        out.append(&mut self.lifecycles);
     }
 
     fn observe_nodes(&self, out: &mut Vec<NodeObs>) {
@@ -798,6 +865,44 @@ mod tests {
         let mut out = Vec::new();
         sim.drain(&mut out);
         assert!(sim.next_time().is_none());
+    }
+
+    #[test]
+    fn lifecycle_components_sum_exactly() {
+        use sctm_engine::rng::StreamRng;
+        let mut rng = StreamRng::new(11);
+        let mut sim = NocSim::new(cfg4());
+        sim.set_lifecycle_capture(true);
+        let n = 500u64;
+        for i in 0..n {
+            let s = rng.below(16) as u32;
+            let d = rng.below(16) as u32; // self-sends included
+            let class = if rng.chance(0.5) {
+                MsgClass::Control
+            } else {
+                MsgClass::Data
+            };
+            let bytes = if class == MsgClass::Control { 8 } else { 64 };
+            sim.inject(
+                SimTime::from_ns(rng.below(1000)),
+                msg(i, s, d, class, bytes),
+            );
+        }
+        let out = drain_all(&mut sim);
+        assert_eq!(out.len(), n as usize);
+        let mut lcs = Vec::new();
+        sim.take_lifecycles(&mut lcs);
+        assert_eq!(lcs.len(), n as usize);
+        for lc in &lcs {
+            assert_eq!(
+                lc.breakdown.total_ps(),
+                lc.latency_ps(),
+                "components of {:?} do not sum to latency",
+                lc.msg.id
+            );
+        }
+        // Under contention, at least some messages see queueing.
+        assert!(lcs.iter().any(|l| l.breakdown.queue_ps > 0));
     }
 
     #[test]

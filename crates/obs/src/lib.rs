@@ -21,16 +21,31 @@
 
 mod export;
 mod registry;
+mod series;
 mod tracer;
 
-pub use export::{chrome_trace_json, Manifest, PhaseWall};
+pub use export::{chrome_trace_json, chrome_trace_with_series, Manifest, PhaseWall};
 pub use registry::{
     global_snapshot, iterations_snapshot, publish_network, record_iteration, reset_global,
     reset_iterations, with_global, IterTelemetry, MetricValue, MetricsRegistry,
 };
+pub use series::{CounterSeries, SampledNetwork, SeriesStore};
 pub use tracer::{drain, sim_event, span, SpanGuard, TraceEvent};
 
 use std::sync::atomic::{AtomicBool, Ordering};
+use std::sync::{Mutex, MutexGuard, PoisonError};
+
+/// Lock a mutex, recovering the data if a previous holder panicked.
+///
+/// Every structure behind this crate's locks stays structurally valid
+/// across any panic point (ring deques, metric maps, telemetry vectors
+/// — all updates are single-call appends or overwrites), so poisoning
+/// only means the panicking thread's last event may be missing.
+/// Observability must never escalate a worker panic into a second
+/// panic at drain/snapshot/export time.
+pub(crate) fn lock_unpoisoned<T>(m: &Mutex<T>) -> MutexGuard<'_, T> {
+    m.lock().unwrap_or_else(PoisonError::into_inner)
+}
 
 /// The one global switch. Relaxed ordering is deliberate: the flag
 /// gates *recording*, never correctness, so a stale read at worst loses

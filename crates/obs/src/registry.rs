@@ -9,7 +9,7 @@
 //! same registry bit for bit — the property `tests/obs_properties.rs`
 //! checks.
 
-use crate::enabled;
+use crate::{enabled, lock_unpoisoned};
 use sctm_engine::net::{NetworkModel, NodeObs};
 use sctm_engine::stats::Histogram;
 use sctm_engine::time::SimTime;
@@ -137,17 +137,17 @@ static GLOBAL: Mutex<MetricsRegistry> = Mutex::new(MetricsRegistry::new());
 
 /// Run `f` against the process-wide registry.
 pub fn with_global<R>(f: impl FnOnce(&mut MetricsRegistry) -> R) -> R {
-    f(&mut GLOBAL.lock().unwrap())
+    f(&mut lock_unpoisoned(&GLOBAL))
 }
 
 /// Copy of the process-wide registry.
 pub fn global_snapshot() -> MetricsRegistry {
-    GLOBAL.lock().unwrap().snapshot()
+    lock_unpoisoned(&GLOBAL).snapshot()
 }
 
 /// Clear the process-wide registry.
 pub fn reset_global() {
-    GLOBAL.lock().unwrap().map.clear();
+    lock_unpoisoned(&GLOBAL).map.clear();
 }
 
 /// Publish a network model's aggregate stats and per-node observations
@@ -200,7 +200,7 @@ pub fn record_iteration(t: IterTelemetry) {
     if !enabled() {
         return;
     }
-    ITERATIONS.lock().unwrap().push(t);
+    lock_unpoisoned(&ITERATIONS).push(t);
     with_global(|reg| {
         let p = format!("sctm.{}.{}.iter{:02}", t.network, t.workload, t.iteration);
         reg.gauge_set(format!("{p}.est_ps"), t.est_ps as f64);
@@ -215,7 +215,7 @@ pub fn record_iteration(t: IterTelemetry) {
 /// order (network, workload, iteration — not arrival order, which
 /// parallel sweeps scramble).
 pub fn iterations_snapshot() -> Vec<IterTelemetry> {
-    let mut v = ITERATIONS.lock().unwrap().clone();
+    let mut v = lock_unpoisoned(&ITERATIONS).clone();
     v.sort_by(|a, b| {
         (a.network, a.workload, a.iteration).cmp(&(b.network, b.workload, b.iteration))
     });
@@ -223,7 +223,7 @@ pub fn iterations_snapshot() -> Vec<IterTelemetry> {
 }
 
 pub fn reset_iterations() {
-    ITERATIONS.lock().unwrap().clear();
+    lock_unpoisoned(&ITERATIONS).clear();
 }
 
 #[cfg(test)]
@@ -276,6 +276,22 @@ mod tests {
         a.counter_add("c", 1);
         assert_eq!(snap.get("c"), Some(&MetricValue::Counter(1)));
         assert_eq!(a.get("c"), Some(&MetricValue::Counter(2)));
+    }
+
+    #[test]
+    fn global_registry_survives_poisoning() {
+        with_global(|r| r.counter_add("poison.survivor", 1));
+        // Panic while holding the global lock (from another thread, so
+        // this test's own unwind is clean).
+        std::thread::spawn(|| {
+            with_global(|_| panic!("metrics user dies mid-update"));
+        })
+        .join()
+        .unwrap_err();
+        // All global entry points must still work and see the data.
+        with_global(|r| r.counter_add("poison.survivor", 1));
+        let snap = global_snapshot();
+        assert_eq!(snap.get("poison.survivor"), Some(&MetricValue::Counter(2)));
     }
 
     #[test]

@@ -14,7 +14,7 @@
 //! [`drain`] sees everything recorded since the last drain, including
 //! events from `par_map` workers that have already joined.
 
-use crate::enabled;
+use crate::{enabled, lock_unpoisoned};
 use sctm_engine::time::SimTime;
 use std::collections::VecDeque;
 use std::sync::atomic::{AtomicU32, Ordering};
@@ -106,14 +106,14 @@ fn ring_cap() -> usize {
 thread_local! {
     static BUF: (Arc<Mutex<Ring>>, u32) = {
         let ring = Arc::new(Mutex::new(Ring::new(ring_cap())));
-        RINGS.lock().unwrap().push(ring.clone());
+        lock_unpoisoned(&RINGS).push(ring.clone());
         (ring, NEXT_THREAD.fetch_add(1, Ordering::Relaxed))
     };
 }
 
 #[inline]
 fn record(ev: TraceEvent) {
-    BUF.with(|(ring, _)| ring.lock().unwrap().push(ev));
+    BUF.with(|(ring, _)| lock_unpoisoned(ring).push(ev));
 }
 
 /// This thread's small trace ordinal (allocates one on first use).
@@ -178,10 +178,10 @@ pub fn sim_event(cat: &'static str, name: &'static str, node: u32, at: SimTime) 
 /// deterministic order (time-major within each shape). Dropped-event
 /// counts reset alongside.
 pub fn drain() -> Vec<TraceEvent> {
-    let rings = RINGS.lock().unwrap();
+    let rings = lock_unpoisoned(&RINGS);
     let mut out = Vec::new();
     for ring in rings.iter() {
-        let mut r = ring.lock().unwrap();
+        let mut r = lock_unpoisoned(ring);
         out.extend(r.spans.drain(..));
         out.extend(r.instants.drain(..));
         r.dropped = 0;
@@ -268,6 +268,45 @@ mod tests {
                 cat: "tj",
                 node: 7,
                 at_ps: 42,
+                ..
+            }
+        )));
+    }
+
+    #[test]
+    fn drain_survives_a_panicking_traced_thread() {
+        set_enabled(true);
+        // A worker records an event, then panics *while holding its
+        // ring lock* — the worst case, poisoning the very mutex drain
+        // must later take.
+        std::thread::spawn(|| {
+            sim_event("tpanic", "recorded", 9, SimTime::from_ps(99));
+            BUF.with(|(ring, _)| {
+                let _guard = ring.lock().unwrap();
+                panic!("traced worker dies mid-record");
+            });
+        })
+        .join()
+        .unwrap_err();
+        // Recording from a healthy thread still works...
+        sim_event("tpanic", "after", 1, SimTime::from_ps(100));
+        set_enabled(false);
+        // ...and drain neither panics nor loses the dead thread's event.
+        let evs = drain();
+        assert!(evs.iter().any(|e| matches!(
+            e,
+            TraceEvent::SimInstant {
+                cat: "tpanic",
+                name: "recorded",
+                node: 9,
+                ..
+            }
+        )));
+        assert!(evs.iter().any(|e| matches!(
+            e,
+            TraceEvent::SimInstant {
+                cat: "tpanic",
+                name: "after",
                 ..
             }
         )));

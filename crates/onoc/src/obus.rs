@@ -14,7 +14,9 @@
 use crate::layout::Floorplan;
 use sctm_engine::event::EventQueue;
 use sctm_engine::msgtable::MsgTable;
-use sctm_engine::net::{Delivery, Message, NetStats, NetworkModel, NodeObs};
+use sctm_engine::net::{
+    Delivery, LatencyBreakdown, Message, MsgLifecycle, NetStats, NetworkModel, NodeObs,
+};
 use sctm_engine::time::{Freq, SimTime};
 use sctm_obs as obs;
 use sctm_photonic::{ChannelPlan, DeviceKit, LinkBudget, OpticalPath, PowerBreakdown};
@@ -86,11 +88,19 @@ enum Ev {
     Deliver(u64),
 }
 
+/// One in-flight message with its accumulating latency decomposition.
+#[derive(Clone, Copy, Debug)]
+struct InFlight {
+    msg: Message,
+    injected_at: SimTime,
+    bd: LatencyBreakdown,
+}
+
 /// The SWMR broadcast-bus simulator.
 pub struct ObusSim {
     cfg: ObusConfig,
     q: EventQueue<Ev>,
-    msgs: MsgTable<(Message, SimTime)>,
+    msgs: MsgTable<InFlight>,
     /// Per-source channel: busy until.
     src_free: Vec<SimTime>,
     /// Per-receiver ejection port: busy until.
@@ -101,6 +111,8 @@ pub struct ObusSim {
     src_inflight: Vec<u64>,
     stats: NetStats,
     optical_bits: u64,
+    capture: bool,
+    lifecycles: Vec<MsgLifecycle>,
 }
 
 impl ObusSim {
@@ -116,6 +128,8 @@ impl ObusSim {
             src_inflight: vec![0; n],
             stats: NetStats::default(),
             optical_bits: 0,
+            capture: false,
+            lifecycles: Vec::new(),
         }
     }
 
@@ -137,8 +151,16 @@ impl ObusSim {
     fn handle(&mut self, at: SimTime, ev: Ev, out: &mut Vec<Delivery>) {
         match ev {
             Ev::Ready(id) => {
-                let (msg, _) = self.msgs[id];
+                let msg = self.msgs[id].msg;
                 if msg.src == msg.dst {
+                    // Loopback: NI in, NI out — pure interface overhead.
+                    if self.capture {
+                        self.msgs
+                            .get_mut(id)
+                            .expect("unknown message")
+                            .bd
+                            .overhead_ps += self.ni_delay().as_ps();
+                    }
                     self.q.schedule(at + self.ni_delay(), Ev::Deliver(id));
                     return;
                 }
@@ -149,26 +171,46 @@ impl ObusSim {
                 self.src_free[msg.src.idx()] = end;
                 self.src_busy_ps[msg.src.idx()] += burst.as_ps();
                 self.optical_bits += msg.bytes.max(1) as u64 * 8;
+                if self.capture {
+                    let bd = &mut self.msgs.get_mut(id).expect("unknown message").bd;
+                    bd.queue_ps += start.saturating_since(at).as_ps();
+                    bd.serialization_ps += burst.as_ps();
+                }
                 self.q.schedule(end, Ev::BurstEnd(id));
             }
             Ev::BurstEnd(id) => {
-                let (msg, _) = self.msgs[id];
+                let msg = self.msgs[id].msg;
                 let dist = self.cfg.floorplan.serpentine_distance_mm(msg.src, msg.dst);
                 let tof = SimTime::from_ps(self.cfg.kit.waveguide.tof_ps(dist));
+                if self.capture {
+                    self.msgs
+                        .get_mut(id)
+                        .expect("unknown message")
+                        .bd
+                        .propagation_ps += tof.as_ps();
+                }
                 self.q.schedule(at + tof, Ev::Arrive(id));
             }
             Ev::Arrive(id) => {
-                let (msg, _) = self.msgs[id];
+                let msg = self.msgs[id].msg;
                 obs::sim_event("obus", "arbitrate", msg.dst.0, at);
                 // One ejection port per node: serialise receptions.
                 let eject = self.cfg.plan.burst_time(msg.bytes.max(1));
                 let start = at.max(self.dst_free[msg.dst.idx()]);
                 self.dst_free[msg.dst.idx()] = start + eject;
+                if self.capture {
+                    let ni = self.ni_delay().as_ps();
+                    let bd = &mut self.msgs.get_mut(id).expect("unknown message").bd;
+                    bd.queue_ps += start.saturating_since(at).as_ps();
+                    bd.serialization_ps += eject.as_ps();
+                    bd.overhead_ps += ni;
+                }
                 self.q
                     .schedule(start + eject + self.ni_delay(), Ev::Deliver(id));
             }
             Ev::Deliver(id) => {
-                let (msg, injected_at) = self.msgs.remove(id).expect("unknown message");
+                let inf = self.msgs.remove(id).expect("unknown message");
+                let (msg, injected_at) = (inf.msg, inf.injected_at);
                 self.src_inflight[msg.src.idx()] -= 1;
                 obs::sim_event("obus", "deliver", msg.dst.0, at);
                 let d = Delivery {
@@ -177,6 +219,14 @@ impl ObusSim {
                     delivered_at: at,
                 };
                 self.stats.record_delivery(&d);
+                if self.capture {
+                    self.lifecycles.push(MsgLifecycle {
+                        msg,
+                        injected_at,
+                        delivered_at: at,
+                        breakdown: inf.bd,
+                    });
+                }
                 out.push(d);
             }
         }
@@ -193,7 +243,18 @@ impl NetworkModel for ObusSim {
         self.stats.injected += 1;
         self.src_inflight[msg.src.idx()] += 1;
         obs::sim_event("obus", "inject", msg.src.0, at);
-        let prev = self.msgs.insert(msg.id.0, (msg, at));
+        let mut bd = LatencyBreakdown::default();
+        if self.capture {
+            bd.overhead_ps = self.ni_delay().as_ps();
+        }
+        let prev = self.msgs.insert(
+            msg.id.0,
+            InFlight {
+                msg,
+                injected_at: at,
+                bd,
+            },
+        );
         debug_assert!(prev.is_none(), "duplicate message id");
         self.q.schedule(at + self.ni_delay(), Ev::Ready(msg.id.0));
     }
@@ -219,6 +280,18 @@ impl NetworkModel for ObusSim {
 
     fn label(&self) -> &'static str {
         "obus"
+    }
+
+    fn set_lifecycle_capture(&mut self, on: bool) {
+        self.capture = on;
+    }
+
+    fn lifecycle_capture(&self) -> bool {
+        self.capture
+    }
+
+    fn take_lifecycles(&mut self, out: &mut Vec<MsgLifecycle>) {
+        out.append(&mut self.lifecycles);
     }
 
     fn observe_nodes(&self, out: &mut Vec<NodeObs>) {
@@ -341,6 +414,32 @@ mod tests {
         let a = run();
         assert_eq!(a, run());
         assert_eq!(a.len(), 200);
+    }
+
+    #[test]
+    fn lifecycle_components_sum_exactly() {
+        let mut s = sim();
+        s.set_lifecycle_capture(true);
+        s.inject(SimTime::ZERO, msg(0, 5, 5, 64)); // loopback
+        for i in 1..100u64 {
+            s.inject(
+                SimTime::from_ns(i % 20),
+                msg(
+                    i,
+                    (i % 16) as u32,
+                    ((i * 7) % 16) as u32,
+                    if i % 2 == 0 { 72 } else { 8 },
+                ),
+            );
+        }
+        drain(&mut s);
+        let mut lc = Vec::new();
+        s.take_lifecycles(&mut lc);
+        assert_eq!(lc.len(), 100);
+        for l in &lc {
+            assert_eq!(l.breakdown.total_ps(), l.latency_ps(), "{:?}", l.msg.id);
+        }
+        assert!(lc.iter().any(|l| l.breakdown.queue_ps > 0));
     }
 
     #[test]

@@ -23,7 +23,10 @@
 use crate::layout::Floorplan;
 use sctm_engine::event::EventQueue;
 use sctm_engine::msgtable::MsgTable;
-use sctm_engine::net::{Delivery, Message, MsgClass, NetStats, NetworkModel, NodeId, NodeObs};
+use sctm_engine::net::{
+    Delivery, LatencyBreakdown, Message, MsgClass, MsgLifecycle, NetStats, NetworkModel, NodeId,
+    NodeObs,
+};
 use sctm_engine::time::{Freq, SimTime};
 use sctm_obs as obs;
 use sctm_photonic::{ChannelPlan, DeviceKit, LinkBudget, PowerBreakdown};
@@ -158,6 +161,10 @@ struct MsgState {
     route: Route,
     /// Current position along the XY route.
     hop: usize,
+    /// When this message's setup joined a segment wait queue (valid
+    /// while parked in `seg_wait`; used only for blame accounting).
+    blocked_at: SimTime,
+    bd: LatencyBreakdown,
 }
 
 #[derive(Clone, Copy, Debug)]
@@ -190,6 +197,8 @@ pub struct OmeshSim {
     /// Optical payload bits transmitted (for the energy report).
     optical_bits: u64,
     side: usize,
+    capture: bool,
+    lifecycles: Vec<MsgLifecycle>,
 }
 
 /// Direction encoding for segments: 0=N,1=E,2=S,3=W. Reference
@@ -227,6 +236,8 @@ impl OmeshSim {
             stats: NetStats::default(),
             optical_bits: 0,
             side: cfg.floorplan.side,
+            capture: false,
+            lifecycles: Vec::new(),
         }
     }
 
@@ -279,9 +290,48 @@ impl OmeshSim {
                     delivered_at: at,
                 };
                 self.stats.record_delivery(&d);
+                if self.capture {
+                    self.push_lifecycle(&st, at);
+                }
                 out.push(d);
             }
         }
+    }
+
+    /// Close out a lifecycle: reconcile the accumulated bins against
+    /// the measured end-to-end latency. Slack no phase claimed counts
+    /// as queueing; overshoot (only possible through the
+    /// grant-before-service clamp in [`Self::advance_setup`]) is
+    /// trimmed, so the components always sum exactly to the latency.
+    fn push_lifecycle(&mut self, st: &MsgState, delivered_at: SimTime) {
+        let mut bd = st.bd;
+        let lat = delivered_at.saturating_since(st.injected_at).as_ps();
+        let sum = bd.total_ps();
+        if sum < lat {
+            bd.queue_ps += lat - sum;
+        } else if sum > lat {
+            let mut over = sum - lat;
+            for slot in [
+                &mut bd.queue_ps,
+                &mut bd.propagation_ps,
+                &mut bd.arbitration_ps,
+                &mut bd.serialization_ps,
+                &mut bd.overhead_ps,
+            ] {
+                let cut = (*slot).min(over);
+                *slot -= cut;
+                over -= cut;
+                if over == 0 {
+                    break;
+                }
+            }
+        }
+        self.lifecycles.push(MsgLifecycle {
+            msg: st.msg,
+            injected_at: st.injected_at,
+            delivered_at,
+            breakdown: bd,
+        });
     }
 
     fn handle_setup(&mut self, at: SimTime, id: u64) {
@@ -290,6 +340,12 @@ impl OmeshSim {
         let len = st.route.len();
         let last = st.hop + 1 == len;
         let svc_done = self.serve(here, at);
+        if self.capture {
+            let svc = self.cycles(self.cfg.service_cycles).as_ps();
+            let bd = &mut self.msgs.get_mut(id).expect("unknown message").bd;
+            bd.queue_ps += svc_done.saturating_since(at).as_ps().saturating_sub(svc);
+            bd.arbitration_ps += svc;
+        }
         if last {
             // Path fully reserved. ACK back to source (uncontended
             // control broadcast on the reserved path), then the optical
@@ -306,6 +362,14 @@ impl OmeshSim {
             let burst = self.cfg.plan.burst_time(st.msg.bytes);
             let arrive = svc_done + ack + tof + burst + self.cycles(self.cfg.ni_cycles);
             self.optical_bits += st.msg.bytes as u64 * 8;
+            if self.capture {
+                let ni = self.cycles(self.cfg.ni_cycles).as_ps();
+                let bd = &mut self.msgs.get_mut(id).expect("unknown message").bd;
+                bd.arbitration_ps += ack.as_ps();
+                bd.propagation_ps += tof.as_ps();
+                bd.serialization_ps += burst.as_ps();
+                bd.overhead_ps += ni;
+            }
             self.q.schedule(arrive, Ev::OptDone(id));
         } else {
             let seg = st.route.seg(self.side, st.hop);
@@ -315,6 +379,9 @@ impl OmeshSim {
                 obs::sim_event("omesh", "arbitrate", (seg / 4) as u32, svc_done);
                 self.advance_setup(id, svc_done);
             } else {
+                if self.capture {
+                    self.msgs.get_mut(id).expect("unknown message").blocked_at = svc_done;
+                }
                 self.seg_wait[seg].push_back(id);
             }
         }
@@ -322,9 +389,14 @@ impl OmeshSim {
 
     /// Move the setup to the next router (segment already reserved).
     fn advance_setup(&mut self, id: u64, from_time: SimTime) {
+        let hop_time = self.cycles(self.cfg.setup_hop_cycles);
+        let capture = self.capture;
         let st = self.msgs.get_mut(id).unwrap();
         st.hop += 1;
-        let t = from_time + self.cycles(self.cfg.setup_hop_cycles);
+        if capture {
+            st.bd.propagation_ps += hop_time.as_ps();
+        }
+        let t = from_time + hop_time;
         self.q.schedule(t.max(self.q.now()), Ev::Setup(id));
     }
 
@@ -333,6 +405,19 @@ impl OmeshSim {
         let here = st.route.node(self.side, st.hop);
         let last = st.hop + 1 == st.route.len();
         let svc_done = self.serve(here, at);
+        if self.capture {
+            let svc = self.cycles(self.cfg.service_cycles).as_ps();
+            let ni = self.cycles(self.cfg.ni_cycles).as_ps();
+            let hop = self.cycles(self.cfg.setup_hop_cycles).as_ps();
+            let bd = &mut self.msgs.get_mut(id).expect("unknown message").bd;
+            bd.queue_ps += svc_done.saturating_since(at).as_ps().saturating_sub(svc);
+            bd.arbitration_ps += svc;
+            if last {
+                bd.overhead_ps += ni; // trailing NI on the electrical plane
+            } else {
+                bd.propagation_ps += hop; // wire hop to the next router
+            }
+        }
         if last {
             let t = svc_done + self.cycles(self.cfg.ni_cycles);
             self.q.schedule(t, Ev::CtrlDone(id));
@@ -355,6 +440,10 @@ impl OmeshSim {
                 self.seg_busy[seg] = Some(next_id);
                 self.seg_since[seg] = at;
                 obs::sim_event("omesh", "arbitrate", (seg / 4) as u32, at);
+                if self.capture {
+                    let w = self.msgs.get_mut(next_id).expect("unknown waiter");
+                    w.bd.queue_ps += at.saturating_since(w.blocked_at).as_ps();
+                }
                 self.advance_setup(next_id, at);
             }
         }
@@ -365,6 +454,9 @@ impl OmeshSim {
             delivered_at: at,
         };
         self.stats.record_delivery(&d);
+        if self.capture {
+            self.push_lifecycle(&st, at);
+        }
         out.push(d);
     }
 }
@@ -382,11 +474,17 @@ impl NetworkModel for OmeshSim {
         let electrical = msg.bytes <= self.cfg.ctrl_cutoff_bytes
             || msg.class == MsgClass::Control
             || msg.src == msg.dst;
+        let mut bd = LatencyBreakdown::default();
+        if self.capture {
+            bd.overhead_ps = self.cycles(self.cfg.ni_cycles).as_ps();
+        }
         let st = MsgState {
             msg,
             injected_at: at,
             route: Route::new(self.side, msg.src, msg.dst),
             hop: 0,
+            blocked_at: SimTime::ZERO,
+            bd,
         };
         let prev = self.msgs.insert(id, st);
         debug_assert!(prev.is_none(), "duplicate message id {id}");
@@ -419,6 +517,18 @@ impl NetworkModel for OmeshSim {
 
     fn label(&self) -> &'static str {
         "omesh"
+    }
+
+    fn set_lifecycle_capture(&mut self, on: bool) {
+        self.capture = on;
+    }
+
+    fn lifecycle_capture(&self) -> bool {
+        self.capture
+    }
+
+    fn take_lifecycles(&mut self, out: &mut Vec<MsgLifecycle>) {
+        out.append(&mut self.lifecycles);
     }
 
     fn observe_nodes(&self, out: &mut Vec<NodeObs>) {
@@ -620,6 +730,61 @@ mod tests {
                 .collect::<Vec<_>>()
         };
         assert_eq!(run(), run());
+    }
+
+    #[test]
+    fn lifecycle_components_sum_exactly() {
+        let mut s = sim();
+        s.set_lifecycle_capture(true);
+        s.inject(SimTime::ZERO, msg(0, 5, 5, MsgClass::Data, 64)); // loopback
+        for i in 1..200u64 {
+            let src = (i * 7 % 16) as u32;
+            let dst = ((i * 7 + 5) % 16) as u32;
+            let class = if i % 3 == 0 {
+                MsgClass::Control
+            } else {
+                MsgClass::Data
+            };
+            s.inject(SimTime::from_ns(i % 40), msg(i, src, dst, class, 64));
+        }
+        let out = drain(&mut s);
+        assert_eq!(out.len(), 200);
+        let mut lc = Vec::new();
+        s.take_lifecycles(&mut lc);
+        assert_eq!(lc.len(), 200);
+        for l in &lc {
+            assert_eq!(l.breakdown.total_ps(), l.latency_ps(), "{:?}", l.msg.id);
+        }
+        // Optical transfers see setup-path arbitration and propagation;
+        // contention shows up as queueing somewhere.
+        assert!(lc.iter().any(|l| l.breakdown.arbitration_ps > 0));
+        assert!(lc.iter().any(|l| l.breakdown.queue_ps > 0));
+        assert!(lc.iter().any(|l| l.breakdown.serialization_ps > 0));
+    }
+
+    #[test]
+    fn lifecycle_capture_does_not_change_timing() {
+        let run = |capture: bool| {
+            let mut s = sim();
+            s.set_lifecycle_capture(capture);
+            for i in 0..150u64 {
+                s.inject(
+                    SimTime::from_ns(i % 25),
+                    msg(
+                        i,
+                        (i % 16) as u32,
+                        ((i * 11 + 1) % 16) as u32,
+                        MsgClass::Data,
+                        128,
+                    ),
+                );
+            }
+            drain(&mut s)
+                .iter()
+                .map(|d| (d.msg.id.0, d.delivered_at.as_ps()))
+                .collect::<Vec<_>>()
+        };
+        assert_eq!(run(false), run(true));
     }
 
     #[test]

@@ -17,7 +17,9 @@
 use crate::layout::Floorplan;
 use sctm_engine::event::EventQueue;
 use sctm_engine::msgtable::MsgTable;
-use sctm_engine::net::{Delivery, Message, NetStats, NetworkModel, NodeObs};
+use sctm_engine::net::{
+    Delivery, LatencyBreakdown, Message, MsgLifecycle, NetStats, NetworkModel, NodeObs,
+};
 use sctm_engine::time::{Freq, SimTime};
 use sctm_obs as obs;
 use sctm_photonic::{ChannelPlan, DeviceKit, LinkBudget, PowerBreakdown};
@@ -59,6 +61,7 @@ impl OxbarConfig {
 struct MsgState {
     msg: Message,
     injected_at: SimTime,
+    bd: LatencyBreakdown,
 }
 
 /// Home-channel arbitration state.
@@ -100,6 +103,8 @@ pub struct OxbarSim {
     stats: NetStats,
     optical_bits: u64,
     nodes: u64,
+    capture: bool,
+    lifecycles: Vec<MsgLifecycle>,
 }
 
 impl OxbarSim {
@@ -122,6 +127,8 @@ impl OxbarSim {
             stats: NetStats::default(),
             optical_bits: 0,
             nodes: n as u64,
+            capture: false,
+            lifecycles: Vec::new(),
         }
     }
 
@@ -190,6 +197,14 @@ impl OxbarSim {
                 };
                 if dst == src {
                     // Loopback stays in the NI.
+                    if self.capture {
+                        let ni = self.ni_delay().as_ps();
+                        self.msgs
+                            .get_mut(id)
+                            .expect("unknown message")
+                            .bd
+                            .overhead_ps += ni;
+                    }
                     self.q.schedule(at + self.ni_delay(), Ev::Deliver(id));
                     return;
                 }
@@ -225,6 +240,15 @@ impl OxbarSim {
                 self.optical_bits += st.msg.bytes.max(1) as u64 * 8;
                 self.ch_busy_ps[ch_idx] += burst.as_ps();
                 obs::sim_event("oxbar", "arbitrate", ch_idx as u32, at);
+                if self.capture {
+                    // Token wait: from the request hitting the channel
+                    // (NI traversal after injection) to this grant.
+                    let ni = self.ni_delay();
+                    let st = self.msgs.get_mut(id).expect("unknown message");
+                    let requested = st.injected_at + ni;
+                    st.bd.arbitration_ps += at.saturating_since(requested).as_ps();
+                    st.bd.serialization_ps += burst.as_ps();
+                }
                 let end = at + burst;
                 let ch = &mut self.channels[ch_idx];
                 ch.pending = None;
@@ -240,6 +264,12 @@ impl OxbarSim {
                 // Propagation from source to reader along the serpentine.
                 let dist_mm = self.cfg.floorplan.serpentine_distance_mm(src, dst);
                 let tof = SimTime::from_ps(self.cfg.kit.waveguide.tof_ps(dist_mm));
+                if self.capture {
+                    let ni = self.ni_delay().as_ps();
+                    let bd = &mut self.msgs.get_mut(id).expect("unknown message").bd;
+                    bd.propagation_ps += tof.as_ps();
+                    bd.overhead_ps += ni;
+                }
                 self.q.schedule(at + tof + self.ni_delay(), Ev::Deliver(id));
                 self.arbitrate(dst.idx(), at);
             }
@@ -252,6 +282,14 @@ impl OxbarSim {
                     delivered_at: at,
                 };
                 self.stats.record_delivery(&d);
+                if self.capture {
+                    self.lifecycles.push(MsgLifecycle {
+                        msg: st.msg,
+                        injected_at: st.injected_at,
+                        delivered_at: at,
+                        breakdown: st.bd,
+                    });
+                }
                 out.push(d);
             }
         }
@@ -268,11 +306,16 @@ impl NetworkModel for OxbarSim {
         self.stats.injected += 1;
         obs::sim_event("oxbar", "inject", msg.src.0, at);
         let id = msg.id.0;
+        let mut bd = LatencyBreakdown::default();
+        if self.capture {
+            bd.overhead_ps = self.ni_delay().as_ps();
+        }
         let prev = self.msgs.insert(
             id,
             MsgState {
                 msg,
                 injected_at: at,
+                bd,
             },
         );
         debug_assert!(prev.is_none(), "duplicate message id {id}");
@@ -300,6 +343,18 @@ impl NetworkModel for OxbarSim {
 
     fn label(&self) -> &'static str {
         "oxbar"
+    }
+
+    fn set_lifecycle_capture(&mut self, on: bool) {
+        self.capture = on;
+    }
+
+    fn lifecycle_capture(&self) -> bool {
+        self.capture
+    }
+
+    fn take_lifecycles(&mut self, out: &mut Vec<MsgLifecycle>) {
+        out.append(&mut self.lifecycles);
     }
 
     fn observe_nodes(&self, out: &mut Vec<NodeObs>) {
@@ -498,6 +553,25 @@ mod tests {
                 .collect::<Vec<_>>()
         };
         assert_eq!(run(), run());
+    }
+
+    #[test]
+    fn lifecycle_components_sum_exactly() {
+        let mut s = sim();
+        s.set_lifecycle_capture(true);
+        s.inject(SimTime::ZERO, msg(0, 7, 7, 64)); // loopback
+        for i in 1..16u64 {
+            // Hotspot: everyone to node 0 — long token waits.
+            s.inject(SimTime::ZERO, msg(i, i as u32, 0, 256));
+        }
+        drain(&mut s);
+        let mut lc = Vec::new();
+        s.take_lifecycles(&mut lc);
+        assert_eq!(lc.len(), 16);
+        for l in &lc {
+            assert_eq!(l.breakdown.total_ps(), l.latency_ps(), "{:?}", l.msg.id);
+        }
+        assert!(lc.iter().any(|l| l.breakdown.arbitration_ps > 0));
     }
 
     #[test]

@@ -1,0 +1,350 @@
+//! The schema-versioned bench-result format (`sctm-bench-v1`) and its
+//! merge/compare operations.
+//!
+//! Emitters: the vendored criterion shim (every bench binary accepts
+//! `--bench-json PATH`) and the `tables` binary (per-experiment wall
+//! times). Consumer: the `benchcmp` binary, which merges per-emitter
+//! files into one `BENCH_PR3.json` and diffs two such files as the CI
+//! perf gate.
+//!
+//! Medians (not means) are compared: sample medians are robust to the
+//! one-off scheduling outliers shared CI runners produce. The machine
+//! fingerprint travels with the numbers so a comparison across
+//! different hardware can be flagged instead of trusted.
+
+use crate::json::{escape, parse, Json};
+use std::fmt::Write as _;
+
+/// Schema identifier; bump on any incompatible change.
+pub const SCHEMA: &str = "sctm-bench-v1";
+
+/// Where the numbers were measured.
+#[derive(Clone, Debug, Default, PartialEq, Eq)]
+pub struct Machine {
+    pub os: String,
+    pub arch: String,
+    pub threads: u64,
+}
+
+impl Machine {
+    /// Fingerprint of the machine running right now.
+    pub fn current() -> Machine {
+        Machine {
+            os: std::env::consts::OS.to_string(),
+            arch: std::env::consts::ARCH.to_string(),
+            threads: std::thread::available_parallelism().map_or(1, |n| n.get() as u64),
+        }
+    }
+}
+
+/// One benchmark's order statistics, in nanoseconds per iteration.
+#[derive(Clone, Debug, Default, PartialEq)]
+pub struct BenchRecord {
+    pub id: String,
+    pub samples: u64,
+    pub min_ns: f64,
+    pub p25_ns: f64,
+    pub median_ns: f64,
+    pub p75_ns: f64,
+    pub max_ns: f64,
+}
+
+/// A complete bench-JSON document.
+#[derive(Clone, Debug, Default, PartialEq)]
+pub struct BenchFile {
+    pub schema: String,
+    pub machine: Machine,
+    pub benches: Vec<BenchRecord>,
+}
+
+impl BenchFile {
+    pub fn new() -> Self {
+        BenchFile {
+            schema: SCHEMA.to_string(),
+            machine: Machine::current(),
+            benches: Vec::new(),
+        }
+    }
+
+    pub fn to_json(&self) -> String {
+        let mut out = String::from("{\n");
+        let _ = writeln!(out, "  \"schema\": \"{}\",", escape(&self.schema));
+        let _ = writeln!(
+            out,
+            "  \"machine\": {{\"os\": \"{}\", \"arch\": \"{}\", \"threads\": {}}},",
+            escape(&self.machine.os),
+            escape(&self.machine.arch),
+            self.machine.threads
+        );
+        out.push_str("  \"benches\": [");
+        for (i, b) in self.benches.iter().enumerate() {
+            if i > 0 {
+                out.push(',');
+            }
+            let _ = write!(
+                out,
+                "\n    {{\"id\": \"{}\", \"samples\": {}, \"min_ns\": {}, \"p25_ns\": {}, \"median_ns\": {}, \"p75_ns\": {}, \"max_ns\": {}}}",
+                escape(&b.id),
+                b.samples,
+                num(b.min_ns),
+                num(b.p25_ns),
+                num(b.median_ns),
+                num(b.p75_ns),
+                num(b.max_ns),
+            );
+        }
+        out.push_str("\n  ]\n}\n");
+        out
+    }
+
+    pub fn from_json(s: &str) -> Result<BenchFile, String> {
+        let v = parse(s)?;
+        let schema = v
+            .get("schema")
+            .and_then(Json::as_str)
+            .ok_or("missing schema")?;
+        if schema != SCHEMA {
+            return Err(format!("unsupported schema '{schema}' (want '{SCHEMA}')"));
+        }
+        let m = v.get("machine").ok_or("missing machine")?;
+        let machine = Machine {
+            os: m.get("os").and_then(Json::as_str).unwrap_or("").to_string(),
+            arch: m
+                .get("arch")
+                .and_then(Json::as_str)
+                .unwrap_or("")
+                .to_string(),
+            threads: m.get("threads").and_then(Json::as_u64).unwrap_or(0),
+        };
+        let mut benches = Vec::new();
+        for b in v
+            .get("benches")
+            .and_then(Json::as_arr)
+            .ok_or("missing benches array")?
+        {
+            let field = |k: &str| {
+                b.get(k)
+                    .and_then(Json::as_f64)
+                    .ok_or_else(|| format!("bench missing numeric '{k}'"))
+            };
+            benches.push(BenchRecord {
+                id: b
+                    .get("id")
+                    .and_then(Json::as_str)
+                    .ok_or("bench missing id")?
+                    .to_string(),
+                samples: b.get("samples").and_then(Json::as_u64).unwrap_or(0),
+                min_ns: field("min_ns")?,
+                p25_ns: field("p25_ns")?,
+                median_ns: field("median_ns")?,
+                p75_ns: field("p75_ns")?,
+                max_ns: field("max_ns")?,
+            });
+        }
+        Ok(BenchFile {
+            schema: schema.to_string(),
+            machine,
+            benches,
+        })
+    }
+
+    /// Concatenate several files (e.g. one per bench binary) into one.
+    /// The machine fingerprint comes from the first file; bench ids are
+    /// kept sorted and must be unique across inputs.
+    pub fn merge(files: Vec<BenchFile>) -> Result<BenchFile, String> {
+        let mut out = BenchFile::new();
+        if let Some(first) = files.first() {
+            out.machine = first.machine.clone();
+        }
+        for f in files {
+            out.benches.extend(f.benches);
+        }
+        out.benches.sort_by(|a, b| a.id.cmp(&b.id));
+        for w in out.benches.windows(2) {
+            if w[0].id == w[1].id {
+                return Err(format!("duplicate bench id '{}' across inputs", w[0].id));
+            }
+        }
+        Ok(out)
+    }
+}
+
+fn num(v: f64) -> String {
+    if !v.is_finite() {
+        "0".to_string()
+    } else if v == v.trunc() && v.abs() < 1e15 {
+        format!("{}", v as i64)
+    } else {
+        format!("{v}")
+    }
+}
+
+/// One benchmark whose median moved past the threshold.
+#[derive(Clone, Debug, PartialEq)]
+pub struct Delta {
+    pub id: String,
+    pub old_ns: f64,
+    pub new_ns: f64,
+    /// `new / old`; > 1 is slower.
+    pub ratio: f64,
+}
+
+/// Result of comparing two bench files.
+#[derive(Clone, Debug, Default, PartialEq)]
+pub struct Comparison {
+    /// Benchmarks present in both files.
+    pub common: usize,
+    /// Ids only in the new file.
+    pub added: Vec<String>,
+    /// Ids only in the old file.
+    pub removed: Vec<String>,
+    /// Median slowdowns beyond the threshold.
+    pub regressions: Vec<Delta>,
+    /// Median speedups beyond the threshold.
+    pub improvements: Vec<Delta>,
+    /// The two files were measured on different machines.
+    pub machine_mismatch: bool,
+}
+
+/// Compare medians with a relative `threshold` (0.10 = 10%). Benchmarks
+/// appearing on only one side are reported but never count as
+/// regressions — renames must not break CI silently *or* loudly.
+pub fn compare(old: &BenchFile, new: &BenchFile, threshold: f64) -> Comparison {
+    let mut cmp = Comparison {
+        machine_mismatch: old.machine != new.machine,
+        ..Comparison::default()
+    };
+    for n in &new.benches {
+        match old.benches.iter().find(|o| o.id == n.id) {
+            None => cmp.added.push(n.id.clone()),
+            Some(o) => {
+                cmp.common += 1;
+                if o.median_ns <= 0.0 {
+                    continue;
+                }
+                let ratio = n.median_ns / o.median_ns;
+                let d = Delta {
+                    id: n.id.clone(),
+                    old_ns: o.median_ns,
+                    new_ns: n.median_ns,
+                    ratio,
+                };
+                if ratio > 1.0 + threshold {
+                    cmp.regressions.push(d);
+                } else if ratio < 1.0 - threshold {
+                    cmp.improvements.push(d);
+                }
+            }
+        }
+    }
+    for o in &old.benches {
+        if !new.benches.iter().any(|n| n.id == o.id) {
+            cmp.removed.push(o.id.clone());
+        }
+    }
+    cmp.regressions.sort_by(|a, b| b.ratio.total_cmp(&a.ratio));
+    cmp.improvements.sort_by(|a, b| a.ratio.total_cmp(&b.ratio));
+    cmp
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn rec(id: &str, median: f64) -> BenchRecord {
+        BenchRecord {
+            id: id.to_string(),
+            samples: 10,
+            min_ns: median * 0.9,
+            p25_ns: median * 0.95,
+            median_ns: median,
+            p75_ns: median * 1.05,
+            max_ns: median * 1.2,
+        }
+    }
+
+    fn file(benches: Vec<BenchRecord>) -> BenchFile {
+        BenchFile {
+            schema: SCHEMA.to_string(),
+            machine: Machine {
+                os: "linux".into(),
+                arch: "x86_64".into(),
+                threads: 8,
+            },
+            benches,
+        }
+    }
+
+    #[test]
+    fn roundtrip_through_json() {
+        let f = file(vec![rec("a/1", 1234.5), rec("b/2", 1e9)]);
+        let back = BenchFile::from_json(&f.to_json()).unwrap();
+        assert_eq!(f, back);
+    }
+
+    #[test]
+    fn self_comparison_reports_zero_regressions() {
+        let f = file(vec![rec("a", 100.0), rec("b", 2000.0)]);
+        let cmp = compare(&f, &f, 0.10);
+        assert_eq!(cmp.common, 2);
+        assert!(cmp.regressions.is_empty());
+        assert!(cmp.improvements.is_empty());
+        assert!(cmp.added.is_empty() && cmp.removed.is_empty());
+        assert!(!cmp.machine_mismatch);
+    }
+
+    #[test]
+    fn regression_and_improvement_detection() {
+        let old = file(vec![
+            rec("slow", 100.0),
+            rec("fast", 100.0),
+            rec("same", 100.0),
+        ]);
+        let new = file(vec![
+            rec("slow", 130.0),
+            rec("fast", 70.0),
+            rec("same", 105.0),
+        ]);
+        let cmp = compare(&old, &new, 0.10);
+        assert_eq!(cmp.regressions.len(), 1);
+        assert_eq!(cmp.regressions[0].id, "slow");
+        assert!((cmp.regressions[0].ratio - 1.3).abs() < 1e-9);
+        assert_eq!(cmp.improvements.len(), 1);
+        assert_eq!(cmp.improvements[0].id, "fast");
+    }
+
+    #[test]
+    fn added_and_removed_are_not_regressions() {
+        let old = file(vec![rec("gone", 1.0)]);
+        let new = file(vec![rec("new", 1.0)]);
+        let cmp = compare(&old, &new, 0.1);
+        assert_eq!(cmp.added, vec!["new"]);
+        assert_eq!(cmp.removed, vec!["gone"]);
+        assert!(cmp.regressions.is_empty());
+    }
+
+    #[test]
+    fn machine_mismatch_flagged() {
+        let a = file(vec![]);
+        let mut b = file(vec![]);
+        b.machine.threads = 1;
+        assert!(compare(&a, &b, 0.1).machine_mismatch);
+    }
+
+    #[test]
+    fn merge_concatenates_and_rejects_duplicates() {
+        let merged =
+            BenchFile::merge(vec![file(vec![rec("b", 1.0)]), file(vec![rec("a", 2.0)])]).unwrap();
+        assert_eq!(merged.benches.len(), 2);
+        assert_eq!(merged.benches[0].id, "a");
+        assert!(
+            BenchFile::merge(vec![file(vec![rec("a", 1.0)]), file(vec![rec("a", 2.0)])]).is_err()
+        );
+    }
+
+    #[test]
+    fn schema_mismatch_rejected() {
+        let doc = file(vec![]).to_json().replace(SCHEMA, "sctm-bench-v999");
+        assert!(BenchFile::from_json(&doc).is_err());
+    }
+}

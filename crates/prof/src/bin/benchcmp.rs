@@ -1,0 +1,122 @@
+//! Bench-JSON comparator and merger — the CI perf gate.
+//!
+//! ```text
+//! benchcmp diff OLD.json NEW.json [--threshold 0.15] [--warn-only]
+//! benchcmp merge OUT.json IN.json [IN2.json ...]
+//! ```
+//!
+//! `diff` exits 0 when no benchmark's median regressed beyond the
+//! threshold (default 15%), 1 on regression (downgraded to a warning
+//! with `--warn-only`, for noisy shared runners), 2 on usage or parse
+//! errors. A machine-fingerprint mismatch between the two files is
+//! always warn-only: numbers from different hardware cannot gate.
+
+use sctm_prof::benchjson::{compare, BenchFile};
+use std::process::ExitCode;
+
+fn load(path: &str) -> Result<BenchFile, String> {
+    let text = std::fs::read_to_string(path).map_err(|e| format!("{path}: {e}"))?;
+    BenchFile::from_json(&text).map_err(|e| format!("{path}: {e}"))
+}
+
+fn run() -> Result<bool, String> {
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    match args.first().map(String::as_str) {
+        Some("merge") => {
+            let out = args.get(1).ok_or("merge: missing OUT path")?;
+            if args.len() < 3 {
+                return Err("merge: need at least one input".into());
+            }
+            let inputs: Result<Vec<_>, _> = args[2..].iter().map(|p| load(p)).collect();
+            let merged = BenchFile::merge(inputs?)?;
+            std::fs::write(out, merged.to_json()).map_err(|e| format!("{out}: {e}"))?;
+            eprintln!(
+                "benchcmp: merged {} benchmarks into {out}",
+                merged.benches.len()
+            );
+            Ok(true)
+        }
+        Some("diff") => {
+            let old_path = args.get(1).ok_or("diff: missing OLD path")?;
+            let new_path = args.get(2).ok_or("diff: missing NEW path")?;
+            let mut threshold = 0.15f64;
+            let mut warn_only = false;
+            let mut i = 3;
+            while i < args.len() {
+                match args[i].as_str() {
+                    "--threshold" => {
+                        threshold = args
+                            .get(i + 1)
+                            .and_then(|v| v.parse().ok())
+                            .ok_or("--threshold needs a number")?;
+                        i += 2;
+                    }
+                    "--warn-only" => {
+                        warn_only = true;
+                        i += 1;
+                    }
+                    other => return Err(format!("unknown flag '{other}'")),
+                }
+            }
+            let old = load(old_path)?;
+            let new = load(new_path)?;
+            let cmp = compare(&old, &new, threshold);
+            println!(
+                "benchcmp: {} common, {} added, {} removed (threshold {:.0}%)",
+                cmp.common,
+                cmp.added.len(),
+                cmp.removed.len(),
+                threshold * 100.0
+            );
+            if cmp.machine_mismatch {
+                println!("warning: machine fingerprints differ — treating as warn-only");
+            }
+            for d in &cmp.improvements {
+                println!(
+                    "  improved  {:<40} {:>12.1} ns -> {:>12.1} ns  ({:+.1}%)",
+                    d.id,
+                    d.old_ns,
+                    d.new_ns,
+                    (d.ratio - 1.0) * 100.0
+                );
+            }
+            for d in &cmp.regressions {
+                println!(
+                    "  REGRESSED {:<40} {:>12.1} ns -> {:>12.1} ns  ({:+.1}%)",
+                    d.id,
+                    d.old_ns,
+                    d.new_ns,
+                    (d.ratio - 1.0) * 100.0
+                );
+            }
+            if cmp.regressions.is_empty() {
+                println!("benchcmp: no regressions");
+                Ok(true)
+            } else if warn_only || cmp.machine_mismatch {
+                println!(
+                    "benchcmp: {} regression(s) — warn-only, not failing",
+                    cmp.regressions.len()
+                );
+                Ok(true)
+            } else {
+                println!("benchcmp: {} regression(s)", cmp.regressions.len());
+                Ok(false)
+            }
+        }
+        _ => Err(
+            "usage: benchcmp diff OLD NEW [--threshold F] [--warn-only] | benchcmp merge OUT IN..."
+                .into(),
+        ),
+    }
+}
+
+fn main() -> ExitCode {
+    match run() {
+        Ok(true) => ExitCode::SUCCESS,
+        Ok(false) => ExitCode::from(1),
+        Err(e) => {
+            eprintln!("benchcmp: {e}");
+            ExitCode::from(2)
+        }
+    }
+}

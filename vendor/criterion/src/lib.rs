@@ -11,7 +11,116 @@
 
 pub use std::hint::black_box;
 
+use std::sync::Mutex;
 use std::time::{Duration, Instant};
+
+/// Order statistics collected for one benchmark, for `--bench-json`.
+#[derive(Clone, Debug)]
+struct Record {
+    id: String,
+    samples: u64,
+    min_ns: f64,
+    p25_ns: f64,
+    median_ns: f64,
+    p75_ns: f64,
+    max_ns: f64,
+}
+
+static RECORDS: Mutex<Vec<Record>> = Mutex::new(Vec::new());
+
+/// Interpolated quantile of an already-sorted sample vector.
+fn quantile(sorted: &[f64], q: f64) -> f64 {
+    let pos = q * (sorted.len() - 1) as f64;
+    let lo = pos.floor() as usize;
+    let hi = pos.ceil() as usize;
+    if lo == hi {
+        sorted[lo]
+    } else {
+        sorted[lo] + (sorted[hi] - sorted[lo]) * (pos - lo as f64)
+    }
+}
+
+fn json_escape(s: &str) -> String {
+    let mut out = String::with_capacity(s.len());
+    for c in s.chars() {
+        match c {
+            '"' => out.push_str("\\\""),
+            '\\' => out.push_str("\\\\"),
+            c if (c as u32) < 0x20 => out.push_str(&format!("\\u{:04x}", c as u32)),
+            c => out.push(c),
+        }
+    }
+    out
+}
+
+fn json_num(v: f64) -> String {
+    if !v.is_finite() {
+        "0".to_string()
+    } else if v == v.trunc() && v.abs() < 1e15 {
+        format!("{}", v as i64)
+    } else {
+        format!("{v}")
+    }
+}
+
+/// Serialise all records collected so far as an `sctm-bench-v1`
+/// document. The writer is duplicated from `sctm-prof` on purpose: the
+/// vendored shim must not depend on workspace crates.
+fn records_to_json() -> String {
+    use std::fmt::Write as _;
+    let recs = RECORDS
+        .lock()
+        .unwrap_or_else(std::sync::PoisonError::into_inner);
+    let threads = std::thread::available_parallelism().map_or(1, |n| n.get());
+    let mut out = String::from("{\n  \"schema\": \"sctm-bench-v1\",\n");
+    let _ = writeln!(
+        out,
+        "  \"machine\": {{\"os\": \"{}\", \"arch\": \"{}\", \"threads\": {}}},",
+        json_escape(std::env::consts::OS),
+        json_escape(std::env::consts::ARCH),
+        threads
+    );
+    out.push_str("  \"benches\": [");
+    for (i, r) in recs.iter().enumerate() {
+        if i > 0 {
+            out.push(',');
+        }
+        let _ = write!(
+            out,
+            "\n    {{\"id\": \"{}\", \"samples\": {}, \"min_ns\": {}, \"p25_ns\": {}, \"median_ns\": {}, \"p75_ns\": {}, \"max_ns\": {}}}",
+            json_escape(&r.id),
+            r.samples,
+            json_num(r.min_ns),
+            json_num(r.p25_ns),
+            json_num(r.median_ns),
+            json_num(r.p75_ns),
+            json_num(r.max_ns),
+        );
+    }
+    out.push_str("\n  ]\n}\n");
+    out
+}
+
+/// Called by the `main` that `criterion_main!` generates, after all
+/// groups have run: honours `--bench-json PATH` from the command line.
+/// (Cargo's bench harness passes extra flags like `--bench`; anything
+/// unrecognised is ignored, as real criterion does.)
+#[doc(hidden)]
+pub fn finish_from_args() {
+    let args: Vec<String> = std::env::args().collect();
+    let Some(pos) = args.iter().position(|a| a == "--bench-json") else {
+        return;
+    };
+    let Some(path) = args.get(pos + 1) else {
+        eprintln!("criterion shim: --bench-json needs a path");
+        std::process::exit(2);
+    };
+    if let Err(e) = std::fs::write(path, records_to_json()) {
+        eprintln!("criterion shim: cannot write {path}: {e}");
+        std::process::exit(2);
+    }
+    eprintln!("criterion shim: wrote bench JSON to {path}");
+}
 
 /// Identifies a benchmark within a group.
 #[derive(Clone, Debug)]
@@ -153,6 +262,18 @@ fn run_bench(id: &str, sample_size: usize, f: &mut dyn FnMut(&mut Bencher)) {
     } else {
         (samples[samples.len() / 2 - 1] + samples[samples.len() / 2]) / 2.0
     };
+    RECORDS
+        .lock()
+        .unwrap_or_else(std::sync::PoisonError::into_inner)
+        .push(Record {
+            id: id.to_string(),
+            samples: samples.len() as u64,
+            min_ns: min,
+            p25_ns: quantile(&samples, 0.25),
+            median_ns: median,
+            p75_ns: quantile(&samples, 0.75),
+            max_ns: max,
+        });
     println!(
         "{:<40} time: [{} {} {}]  ({} samples x {} iters)",
         id,
@@ -199,6 +320,7 @@ macro_rules! criterion_main {
     ($($group:path),+ $(,)?) => {
         fn main() {
             $($group();)+
+            $crate::finish_from_args();
         }
     };
 }
@@ -221,5 +343,39 @@ mod tests {
         });
         g.finish();
         assert!(ran > 0);
+        let recs = RECORDS.lock().unwrap();
+        assert!(recs.iter().any(|r| r.id == "smoke/add"));
+        assert!(recs.iter().any(|r| r.id == "grp/7"));
+        for r in recs.iter() {
+            assert!(r.min_ns <= r.p25_ns && r.p25_ns <= r.median_ns);
+            assert!(r.median_ns <= r.p75_ns && r.p75_ns <= r.max_ns);
+        }
+    }
+
+    #[test]
+    fn quantiles_interpolate() {
+        let s = [10.0, 20.0, 30.0, 40.0, 50.0];
+        assert_eq!(quantile(&s, 0.0), 10.0);
+        assert_eq!(quantile(&s, 0.25), 20.0);
+        assert_eq!(quantile(&s, 0.5), 30.0);
+        assert_eq!(quantile(&s, 1.0), 50.0);
+        assert_eq!(quantile(&[7.0, 9.0], 0.25), 7.5);
+    }
+
+    #[test]
+    fn records_render_as_schema_json() {
+        RECORDS.lock().unwrap().push(Record {
+            id: "json/probe".into(),
+            samples: 3,
+            min_ns: 1.0,
+            p25_ns: 1.5,
+            median_ns: 2.0,
+            p75_ns: 2.5,
+            max_ns: 3.0,
+        });
+        let doc = records_to_json();
+        assert!(doc.contains("\"schema\": \"sctm-bench-v1\""));
+        assert!(doc.contains("\"id\": \"json/probe\""));
+        assert!(doc.contains("\"p25_ns\": 1.5"));
     }
 }

@@ -2,7 +2,7 @@
 //! simulator's throughput.
 
 use criterion::{black_box, criterion_group, criterion_main, Criterion};
-use sctm_engine::event::EventQueue;
+use sctm_engine::event::{EventQueue, QueueBackend};
 use sctm_engine::rng::StreamRng;
 use sctm_engine::stats::Histogram;
 use sctm_engine::time::SimTime;
@@ -23,6 +23,49 @@ fn bench_event_queue(c: &mut Criterion) {
             black_box(sum)
         })
     });
+
+    // Calendar vs heap head-to-head on the two schedules that dominate
+    // capture: a dense batch drain (all events queued, then drained) and
+    // a sliding hold pattern (interleaved schedule/pop with short
+    // holds, the classic calendar-queue sweet spot).
+    for backend in [QueueBackend::Heap, QueueBackend::Calendar] {
+        let tag = match backend {
+            QueueBackend::Heap => "heap",
+            QueueBackend::Calendar => "calendar",
+        };
+        c.bench_function(format!("event_queue/{tag}_batch_drain_8k").as_str(), |b| {
+            b.iter(|| {
+                let mut q = EventQueue::with_backend(backend);
+                for i in 0..8192u64 {
+                    q.schedule(SimTime::from_ps((i * 7919) % 1_000_000), i);
+                }
+                let mut sum = 0u64;
+                while let Some(e) = q.pop() {
+                    sum = sum.wrapping_add(e.payload);
+                }
+                black_box(sum)
+            })
+        });
+        c.bench_function(
+            format!("event_queue/{tag}_sliding_hold_16k").as_str(),
+            |b| {
+                b.iter(|| {
+                    let mut q = EventQueue::with_backend(backend);
+                    let mut r = StreamRng::new(42);
+                    for i in 0..256u64 {
+                        q.schedule(SimTime::from_ps(i * 100), i);
+                    }
+                    let mut sum = 0u64;
+                    for _ in 0..16_384u64 {
+                        let e = q.pop().expect("queue primed");
+                        sum = sum.wrapping_add(e.payload);
+                        q.schedule(e.at + SimTime::from_ps(100 + r.below(5_000)), e.payload);
+                    }
+                    black_box(sum)
+                })
+            },
+        );
+    }
 }
 
 fn bench_rng(c: &mut Criterion) {

@@ -45,9 +45,45 @@ fn bench_modes(c: &mut Criterion) {
     g.finish();
 }
 
+fn bench_capture_64(c: &mut Criterion) {
+    // The PR4 target workload: capture and the full self-correction
+    // loop on a 64-core fft, sequential vs epoch-parallel capture.
+    let exp64 = |threads: usize| {
+        Experiment::new(SystemConfig::new(8, NetworkKind::Omesh), Kernel::Fft)
+            .with_ops(300)
+            .with_capture_threads(threads)
+    };
+    let mut g = c.benchmark_group("capture_fft64");
+    for threads in [1usize, 2, 4] {
+        g.bench_function(
+            BenchmarkId::from_parameter(format!("capture_t{threads}")),
+            |b| b.iter(|| black_box(exp64(threads).capture().records.len())),
+        );
+    }
+    g.bench_function(BenchmarkId::from_parameter("sctm_loop_omesh_t1"), |b| {
+        b.iter(|| {
+            black_box(
+                exp64(1)
+                    .run(Mode::SelfCorrection { max_iters: 4 })
+                    .exec_time,
+            )
+        })
+    });
+    g.bench_function(BenchmarkId::from_parameter("sctm_loop_omesh_t4"), |b| {
+        b.iter(|| {
+            black_box(
+                exp64(4)
+                    .run(Mode::SelfCorrection { max_iters: 4 })
+                    .exec_time,
+            )
+        })
+    });
+    g.finish();
+}
+
 criterion_group! {
     name = benches;
     config = Criterion::default().sample_size(10);
-    targets = bench_modes
+    targets = bench_modes, bench_capture_64
 }
 criterion_main!(benches);

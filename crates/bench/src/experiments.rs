@@ -549,7 +549,7 @@ pub fn sctm_loop_with(e: &Experiment, opts: LoopOptions, iters: usize) -> SimTim
         est = result.est_exec_time;
         let corr = pair_corrections(&log, &result, |m| model.base_latency(m));
         if opts.class_aware {
-            for &((s, d, class), f) in &corr {
+            for &((s, d, class), f, _) in &corr {
                 let old = model.correction(NodeId(s), NodeId(d), class);
                 let f = if opts.damped { 0.5 * old + 0.5 * f } else { f };
                 model.set_correction(NodeId(s), NodeId(d), class, f);
@@ -558,7 +558,7 @@ pub fn sctm_loop_with(e: &Experiment, opts: LoopOptions, iters: usize) -> SimTim
             // Merge the two classes into one per-pair factor.
             let mut merged: std::collections::HashMap<(u32, u32), (f64, u32)> =
                 std::collections::HashMap::new();
-            for &((s, d, _), f) in &corr {
+            for &((s, d, _), f, _) in &corr {
                 let e = merged.entry((s, d)).or_insert((0.0, 0));
                 e.0 += f;
                 e.1 += 1;

@@ -148,7 +148,10 @@ impl<M: Copy + Default> Cache<M> {
             };
             return None;
         }
-        let w = set.iter_mut().min_by_key(|w| w.lru).unwrap();
+        let w = set
+            .iter_mut()
+            .min_by_key(|w| w.lru)
+            .expect("cache sets have at least one way by construction");
         let victim = Victim {
             line: LineAddr(w.tag),
             meta: w.meta,

@@ -191,7 +191,10 @@ pub enum Op {
 }
 
 /// A multi-threaded workload: one deterministic op stream per core.
-pub trait Workload {
+///
+/// `Send` so boxed workloads can move onto the shard worker threads of
+/// the parallel capture runner; every implementor is plain owned data.
+pub trait Workload: Send {
     /// Number of cores this instance was built for.
     fn num_cores(&self) -> usize;
     /// Next op for `core`. Must eventually return [`Op::Halt`] and keep

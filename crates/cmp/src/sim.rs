@@ -34,8 +34,7 @@ use crate::cache::{Cache, CacheGeometry, LineAddr};
 use crate::protocol::{DirState, InjectRecord, Op, ProtocolMsg, Sharers, TraceHook, Workload};
 use sctm_engine::event::EventQueue;
 use sctm_engine::msgtable::MsgTable;
-use sctm_engine::net::{Delivery, Message, MsgClass, MsgId, NetworkModel, NodeId};
-use sctm_engine::stats::Running;
+use sctm_engine::net::{Delivery, Message, MsgClass, MsgId, NetStats, NetworkModel, NodeId};
 use sctm_engine::time::{Freq, SimTime};
 use std::collections::{HashMap, VecDeque};
 
@@ -172,6 +171,27 @@ enum Ev {
     CoreNext(u16),
 }
 
+/// A protocol message crossing a shard boundary in the parallel capture
+/// runner: carried to the destination shard at the next epoch barrier
+/// and injected there (backdated to its true send time) together with
+/// the destination-side bookkeeping the sequential `send` would have
+/// done in place.
+pub(crate) struct RemoteMsg {
+    pub at: SimTime,
+    pub msg: Message,
+    pub proto: ProtocolMsg,
+}
+
+/// Shard identity for parallel capture. `None` (the default) is the
+/// classic sequential simulator.
+struct ShardCtx {
+    num_shards: usize,
+    my_shard: usize,
+    /// Cross-shard messages produced this epoch, delivered by the epoch
+    /// runner at the next barrier.
+    outbox: Vec<RemoteMsg>,
+}
+
 /// Aggregate result of a full-system run.
 #[derive(Clone, Debug)]
 pub struct CmpResult {
@@ -216,12 +236,23 @@ pub struct CmpSim {
     granted: Vec<Option<LineAddr>>,
     /// Per-node last injected message (endpoint program order).
     last_out: Vec<Option<MsgId>>,
-    next_msg: u64,
+    /// Per-source message sequence counters. Ids are interleaved as
+    /// `seq × num_cores + src`: each node numbers its own messages, so a
+    /// shard of the parallel capture runner assigns exactly the ids the
+    /// sequential run would — without knowing other shards' send counts.
+    /// The sequential path uses the same scheme so the two are
+    /// bit-identical.
+    next_seq: Vec<u64>,
     barrier_counts: HashMap<u32, (u32, Vec<MsgId>)>,
-    miss_lat: Running,
+    /// Integer miss-latency accumulator. An integer sum (unlike a
+    /// streaming mean) is independent of push order, so per-shard
+    /// partial sums aggregate to exactly the sequential value.
+    miss_lat_sum_ps: u128,
+    miss_lat_count: u64,
     workload: Box<dyn Workload>,
     deliveries_buf: Vec<Delivery>,
     delivered: u64,
+    shard: Option<ShardCtx>,
 }
 
 impl CmpSim {
@@ -260,15 +291,40 @@ impl CmpSim {
             in_flight: MsgTable::new(),
             granted: vec![None; n],
             last_out: vec![None; n],
-            next_msg: 0,
+            next_seq: vec![0; n],
             barrier_counts: HashMap::new(),
-            miss_lat: Running::new(),
+            miss_lat_sum_ps: 0,
+            miss_lat_count: 0,
             q: EventQueue::new(),
             net,
             workload,
             cfg,
             deliveries_buf: Vec::new(),
             delivered: 0,
+            shard: None,
+        }
+    }
+
+    /// Turn this simulator into shard `my_shard` of `num_shards`: it
+    /// will only schedule and execute nodes `v` with
+    /// `v % num_shards == my_shard`, routing messages for other nodes to
+    /// the outbox. Must be called before [`Self::start`].
+    pub(crate) fn set_shard(&mut self, my_shard: usize, num_shards: usize) {
+        assert!(my_shard < num_shards, "shard index out of range");
+        self.shard = Some(ShardCtx {
+            num_shards,
+            my_shard,
+            outbox: Vec::new(),
+        });
+    }
+
+    /// Does this simulator instance own node `v`? Always true in the
+    /// sequential configuration.
+    #[inline]
+    fn owns(&self, node: usize) -> bool {
+        match &self.shard {
+            Some(sh) => node % sh.num_shards == sh.my_shard,
+            None => true,
         }
     }
 
@@ -299,8 +355,10 @@ impl CmpSim {
         proto: ProtocolMsg,
         deps: Vec<MsgId>,
     ) -> MsgId {
-        let id = MsgId(self.next_msg);
-        self.next_msg += 1;
+        let n = self.cfg.num_cores() as u64;
+        let seq = self.next_seq[src];
+        self.next_seq[src] = seq + 1;
+        let id = MsgId(seq * n + src as u64);
         let (class, bytes) = if proto.is_data() {
             (MsgClass::Data, self.cfg.data_bytes)
         } else {
@@ -313,6 +371,35 @@ impl CmpSim {
             class,
             bytes,
         };
+        // The source side of a send — id assignment, endpoint program
+        // order, trace record — always happens here, on the shard that
+        // owns `src`. The destination side (grant tracking, in-flight
+        // payload, network injection) happens wherever `dst` lives: in
+        // place for local messages, at the next epoch barrier (via
+        // [`Self::accept_remote`]) for cross-shard ones.
+        let prev = self.last_out[src].replace(id);
+        hook.on_inject(InjectRecord {
+            msg,
+            at,
+            deps,
+            prev_same_src: prev,
+            kind: proto.kind(),
+        });
+        if self.owns(dst) {
+            self.accept_local(at, msg, proto);
+        } else {
+            let sh = self
+                .shard
+                .as_mut()
+                .expect("remote destination without shard context");
+            sh.outbox.push(RemoteMsg { at, msg, proto });
+        }
+        id
+    }
+
+    /// Destination-side bookkeeping of a send: grant tracking for the
+    /// deferral predicate, the in-flight payload, and network injection.
+    fn accept_local(&mut self, at: SimTime, msg: Message, proto: ProtocolMsg) {
         // Track committed fills for the deferral predicate.
         match proto {
             ProtocolMsg::Data { line, to, .. } | ProtocolMsg::UpgAck { line, to } => {
@@ -324,52 +411,113 @@ impl CmpSim {
             }
             _ => {}
         }
-        self.in_flight.insert(id.0, proto);
-        let prev = self.last_out[src].replace(id);
-        hook.on_inject(InjectRecord {
-            msg,
-            at,
-            deps,
-            prev_same_src: prev,
-            kind: proto.kind(),
-        });
+        self.in_flight.insert(msg.id.0, proto);
         self.net.inject(at, msg);
-        id
     }
 
-    /// Run the workload to completion. Returns aggregate results.
-    pub fn run(&mut self, hook: &mut dyn TraceHook) -> CmpResult {
-        let _span = sctm_obs::span("cmp", "run");
-        for c in 0..self.cfg.num_cores() {
-            self.q.schedule(SimTime::ZERO, Ev::CoreNext(c as u16));
+    /// Accept a cross-shard message at an epoch barrier. Performs the
+    /// destination-side bookkeeping [`Self::send`] would have done in
+    /// place, injecting backdated: `at` (the true source-side send time)
+    /// lies in the barrier's past, but the conservative lookahead
+    /// guarantees the *delivery* is still in this shard's future.
+    ///
+    /// Applying the grant here rather than at send time is
+    /// observationally equivalent: per-line directory serialization
+    /// means no Fetch/Inv for the granted (core, line) pair can be in
+    /// flight while the grant travels, so nothing can read
+    /// `granted[to]` between the true send time and this barrier.
+    pub(crate) fn accept_remote(&mut self, r: RemoteMsg) {
+        match r.proto {
+            ProtocolMsg::Data { line, to, .. } | ProtocolMsg::UpgAck { line, to } => {
+                debug_assert!(
+                    self.granted[to as usize].is_none(),
+                    "double grant to core {to}"
+                );
+                self.granted[to as usize] = Some(line);
+            }
+            _ => {}
         }
+        self.in_flight.insert(r.msg.id.0, r.proto);
+        self.net.inject_backdated(r.at, r.msg);
+    }
+
+    /// Drain the cross-shard messages produced since the last barrier.
+    pub(crate) fn take_outbox(&mut self) -> Vec<RemoteMsg> {
+        match &mut self.shard {
+            Some(sh) => std::mem::take(&mut sh.outbox),
+            None => Vec::new(),
+        }
+    }
+
+    /// Schedule the initial event for every core this instance owns.
+    pub(crate) fn start(&mut self) {
+        for c in 0..self.cfg.num_cores() {
+            if self.owns(c) {
+                self.q.schedule(SimTime::ZERO, Ev::CoreNext(c as u16));
+            }
+        }
+    }
+
+    /// Earliest pending work — core event or network delivery — or
+    /// `None` when this instance is quiescent.
+    pub(crate) fn next_event_time(&self) -> Option<SimTime> {
+        match (self.q.peek_time(), self.net.next_time()) {
+            (None, None) => None,
+            (Some(a), None) => Some(a),
+            (None, Some(b)) => Some(b),
+            (Some(a), Some(b)) => Some(a.min(b)),
+        }
+    }
+
+    /// Process events strictly before `limit` (all events when `None`),
+    /// preserving the sequential tie-break: at equal times, core events
+    /// run before network deliveries. Events exactly at the limit wait —
+    /// in epoch-parallel mode they belong to the next window.
+    pub(crate) fn step_until(&mut self, hook: &mut dyn TraceHook, limit: Option<SimTime>) {
         loop {
             let tq = self.q.peek_time();
             let tn = self.net.next_time();
-            match (tq, tn) {
+            let core_first = match (tq, tn) {
                 (None, None) => break,
-                (Some(a), None) => {
-                    let ev = self.q.pop().unwrap();
-                    debug_assert_eq!(ev.at, a);
-                    self.handle_event(hook, ev.at, ev.payload);
-                }
-                (None, Some(b)) => self.advance_net(hook, b),
-                (Some(a), Some(b)) => {
-                    if a <= b {
-                        let ev = self.q.pop().unwrap();
-                        self.handle_event(hook, ev.at, ev.payload);
-                    } else {
-                        self.advance_net(hook, b);
-                    }
+                (Some(_), None) => true,
+                (None, Some(_)) => false,
+                (Some(a), Some(b)) => a <= b,
+            };
+            if let Some(w) = limit {
+                let next = if core_first { tq } else { tn };
+                if next.expect("branch chosen from a Some") >= w {
+                    break;
                 }
             }
+            if core_first {
+                let ev = self
+                    .q
+                    .pop()
+                    .expect("event queue drained between peek and pop");
+                debug_assert_eq!(Some(ev.at), tq);
+                self.handle_event(hook, ev.at, ev.payload);
+            } else {
+                let b = tn.expect("branch chosen from a Some");
+                self.advance_net(hook, b);
+            }
         }
-        if !self.cores.iter().all(|c| c.status == CoreStatus::Halted) {
+    }
+
+    /// End-of-run invariants for the nodes this instance owns. Panics
+    /// with a protocol diagnostic on violation.
+    pub(crate) fn finish_checks(&self) {
+        let owned_halted = self
+            .cores
+            .iter()
+            .enumerate()
+            .filter(|(i, _)| self.owns(*i))
+            .all(|(_, c)| c.status == CoreStatus::Halted);
+        if !owned_halted {
             let stuck: Vec<String> = self
                 .cores
                 .iter()
                 .enumerate()
-                .filter(|(_, c)| c.status != CoreStatus::Halted)
+                .filter(|(i, c)| self.owns(*i) && c.status != CoreStatus::Halted)
                 .map(|(i, c)| format!("core {i}: {:?}", c.status))
                 .collect();
             panic!(
@@ -382,6 +530,14 @@ impl CmpSim {
         }
         assert!(self.in_flight.is_empty(), "messages lost in flight");
         assert!(self.busy.is_empty(), "directory transaction leaked");
+    }
+
+    /// Run the workload to completion. Returns aggregate results.
+    pub fn run(&mut self, hook: &mut dyn TraceHook) -> CmpResult {
+        let _span = sctm_obs::span("cmp", "run");
+        self.start();
+        self.step_until(hook, None);
+        self.finish_checks();
         self.validate_coherence();
         self.result()
     }
@@ -419,7 +575,7 @@ impl CmpSim {
             },
             messages_injected: s.injected,
             messages_delivered: self.delivered,
-            avg_miss_latency_ns: self.miss_lat.mean() / 1000.0,
+            avg_miss_latency_ns: Self::miss_mean_ns(self.miss_lat_sum_ps, self.miss_lat_count),
             avg_net_latency_ns: s.mean_latency_ps() / 1000.0,
             network_label: self.net.label(),
         }
@@ -430,11 +586,102 @@ impl CmpSim {
         self.net.as_ref()
     }
 
+    #[inline]
+    fn miss_mean_ns(sum_ps: u128, count: u64) -> f64 {
+        if count == 0 {
+            0.0
+        } else {
+            (sum_ps as f64 / count as f64) / 1000.0
+        }
+    }
+
+    /// Aggregate per-shard results into what the sequential run reports.
+    /// Every component is order-insensitive — integer sums, maxes, and
+    /// exact histogram merges — so for a deterministic shard execution
+    /// the aggregate is byte-identical to the sequential result.
+    pub(crate) fn merged_result(shards: &[CmpSim]) -> CmpResult {
+        assert!(!shards.is_empty());
+        let n_cores = shards[0].cfg.num_cores();
+        let mut stats = NetStats::default();
+        let (mut hits, mut misses) = (0u64, 0u64);
+        let (mut ops, mut loads, mut stores, mut delivered) = (0u64, 0u64, 0u64, 0u64);
+        let (mut miss_sum, mut miss_count) = (0u128, 0u64);
+        let mut exec = SimTime::ZERO;
+        let (mut wait_fill, mut wait_barrier) = (0u64, 0u64);
+        for s in shards {
+            stats.merge(s.net.stats());
+            for c in s.l1.iter() {
+                hits += c.hits();
+                misses += c.misses();
+            }
+            for c in s.cores.iter() {
+                ops += c.ops;
+                loads += c.loads;
+                stores += c.stores;
+                exec = exec.max(c.finish);
+                wait_fill += c.wait_fill.as_ps();
+                wait_barrier += c.wait_barrier.as_ps();
+            }
+            delivered += s.delivered;
+            miss_sum += s.miss_lat_sum_ps;
+            miss_count += s.miss_lat_count;
+        }
+        let frac = |total_ps: u64| -> f64 {
+            if exec.as_ps() == 0 {
+                0.0
+            } else {
+                total_ps as f64 / (exec.as_ps() as f64 * n_cores as f64)
+            }
+        };
+        CmpResult {
+            exec_time: exec,
+            total_ops: ops,
+            total_loads: loads,
+            total_stores: stores,
+            l1_hit_rate: if hits + misses == 0 {
+                0.0
+            } else {
+                hits as f64 / (hits + misses) as f64
+            },
+            messages_injected: stats.injected,
+            messages_delivered: delivered,
+            avg_miss_latency_ns: Self::miss_mean_ns(miss_sum, miss_count),
+            avg_net_latency_ns: stats.mean_latency_ps() / 1000.0,
+            network_label: shards[0].net.label(),
+            wait_fill_frac: frac(wait_fill),
+            wait_barrier_frac: frac(wait_barrier),
+        }
+    }
+
+    /// Cross-shard end-of-run coherence check: validate every shard's L1
+    /// contents against the union of all shards' directory slices (the
+    /// directory is partitioned by home node, L1s by core).
+    pub(crate) fn validate_coherence_sharded(shards: &[CmpSim]) {
+        let mut dir: HashMap<u64, DirState> = HashMap::new();
+        for s in shards {
+            for (k, v) in &s.dir {
+                let prior = dir.insert(*k, *v);
+                debug_assert!(prior.is_none(), "directory line {k:#x} owned by two shards");
+            }
+        }
+        for s in shards {
+            s.validate_coherence_with(&dir);
+        }
+    }
+
     /// End-of-run coherence invariant: every L1 line in M state is the
     /// unique registered owner; every S line is a registered sharer.
     fn validate_coherence(&self) {
+        self.validate_coherence_with(&self.dir);
+    }
+
+    /// Coherence check against an explicit directory map — in sharded
+    /// runs the directory is partitioned by home node, so each shard's
+    /// L1 contents must be checked against the *union* of all shards'
+    /// directory slices.
+    fn validate_coherence_with(&self, dir: &HashMap<u64, DirState>) {
         for (core, l1) in self.l1.iter().enumerate() {
-            l1.for_each_line(|line, meta| match self.dir.get(&line.0) {
+            l1.for_each_line(|line, meta| match dir.get(&line.0) {
                 Some(DirState::Modified(o)) => {
                     assert_eq!(
                         *o as usize, core,
@@ -726,7 +973,8 @@ impl CmpSim {
         debug_assert_eq!(self.granted[c], Some(line), "fill without grant record");
         self.granted[c] = None;
         let waited = at.saturating_since(self.cores[c].miss_start);
-        self.miss_lat.push(waited.as_ps() as f64);
+        self.miss_lat_sum_ps += waited.as_ps() as u128;
+        self.miss_lat_count += 1;
         self.cores[c].wait_fill += waited;
         let t = at + self.cyc(self.cfg.l1_fill_cycles);
         if let Some(meta) = self.l1[c].access(line) {
@@ -1007,7 +1255,10 @@ impl CmpSim {
         if *pending > 0 {
             return;
         }
-        let txn = self.busy.remove(&line.0).unwrap();
+        let txn = self
+            .busy
+            .remove(&line.0)
+            .expect("WaitAcks txn vanished while counting acks");
         // All sharers gone. Grant ownership — via L2 if data is needed.
         let t = at + self.cyc(self.cfg.dir_cycles);
         self.reply_with_data(hook, t, id, line, txn.requester, txn.is_x, txn.deps);
@@ -1019,7 +1270,10 @@ impl CmpSim {
         let t = at + self.cyc(self.cfg.dir_cycles);
         match self.busy.get(&line.0).map(|t| (t.clone(),)) {
             Some((txn,)) if matches!(txn.kind, TxnKind::WaitFetch | TxnKind::WaitWb) => {
-                let mut txn = self.busy.remove(&line.0).unwrap();
+                let mut txn = self
+                    .busy
+                    .remove(&line.0)
+                    .expect("fetch/wb txn vanished while its writeback landed");
                 txn.deps.push(id);
                 self.l2_fill(hook, t, line, true, id);
                 let home = self.home(line);

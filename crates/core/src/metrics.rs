@@ -42,6 +42,10 @@ pub struct IterStats {
     pub drift: SimTime,
     /// (src,dst) pairs whose correction factor was updated.
     pub corrections: usize,
+    /// Message-weighted mean relative movement the correction factors
+    /// took this iteration, measured after damping and quantisation
+    /// (drives the factor-ε early exit).
+    pub factor_move: f64,
     /// Messages in this iteration's trace (re-captures can change it).
     pub messages: u64,
 }

@@ -73,6 +73,27 @@ pub struct Experiment {
     pub kernel: Kernel,
     pub ops_per_core: usize,
     pub seed: u64,
+    /// Worker threads for the capture runs (`0` = read `SCTM_THREADS`,
+    /// default 1 = sequential). Any value produces byte-identical
+    /// results; >1 shards the full-system simulation across threads.
+    pub capture_threads: usize,
+    /// Weight of the *new* correction factor in the damped warm-start
+    /// update `corr ← (1−α)·corr + α·measured`. The default `1.0`
+    /// (undamped) converges fastest on the shipped network models —
+    /// measured factor movement collapses below 10% after a single
+    /// full update and further iterations over-correct. Lower the
+    /// weight on targets whose re-captures oscillate (each re-capture
+    /// overshoots the contention the previous correction absorbed).
+    pub damping: f64,
+    /// Early-exit threshold on the correction table itself, compared
+    /// against the *message-weighted mean* relative factor movement of
+    /// an iteration ([`IterStats::factor_move`]): when the factors the
+    /// traffic actually exercises have stopped moving, the next
+    /// re-capture cannot meaningfully differ, so the loop stops
+    /// without paying for a confirmation capture. Weighting by message
+    /// count keeps rare flapping pairs from masking convergence. `0`
+    /// disables.
+    pub factor_epsilon: f64,
 }
 
 impl Experiment {
@@ -82,6 +103,9 @@ impl Experiment {
             kernel,
             ops_per_core: 1_500,
             seed: 1,
+            capture_threads: 0,
+            damping: 1.0,
+            factor_epsilon: 0.10,
         }
     }
 
@@ -93,6 +117,42 @@ impl Experiment {
     pub fn with_seed(mut self, seed: u64) -> Self {
         self.seed = seed;
         self
+    }
+
+    /// Pin the capture worker-thread count (bypassing `SCTM_THREADS`).
+    pub fn with_capture_threads(mut self, threads: usize) -> Self {
+        self.capture_threads = threads;
+        self
+    }
+
+    /// Set the correction-update damping weight (see [`Experiment::damping`]).
+    pub fn with_damping(mut self, alpha: f64) -> Self {
+        assert!(
+            (0.0..=1.0).contains(&alpha),
+            "damping weight must be in [0, 1]"
+        );
+        self.damping = alpha;
+        self
+    }
+
+    /// Set the factor-table convergence threshold (see
+    /// [`Experiment::factor_epsilon`]).
+    pub fn with_factor_epsilon(mut self, eps: f64) -> Self {
+        assert!(eps >= 0.0);
+        self.factor_epsilon = eps;
+        self
+    }
+
+    /// Capture shard count actually in effect: the explicit setting, or
+    /// the `SCTM_THREADS` environment default, clamped to the core count
+    /// (an empty shard would only add barrier crossings).
+    fn resolved_capture_threads(&self) -> usize {
+        let t = if self.capture_threads == 0 {
+            sctm_engine::par::capture_threads()
+        } else {
+            self.capture_threads
+        };
+        t.clamp(1, self.system.cores())
     }
 
     fn workload(&self) -> Box<sctm_workloads::ScriptWorkload> {
@@ -110,12 +170,41 @@ impl Experiment {
 
     /// Capture on a specific (possibly correction-loaded) analytic
     /// model instance — the re-capture step of the self-correction loop.
+    ///
+    /// With more than one capture thread in effect this shards the
+    /// full-system simulation across workers (`sctm_cmp::par`); the
+    /// canonical trace is byte-identical to the sequential capture.
     pub fn capture_on(&self, model: AnalyticNetwork) -> TraceLog {
         let _span = obs::span("sctm", "capture");
-        let mut sim = CmpSim::new(self.system.cmp.clone(), Box::new(model), self.workload());
-        let mut cap = Capture::new();
-        let res = sim.run(&mut cap);
-        cap.finish("analytic", res.exec_time)
+        let threads = self.resolved_capture_threads();
+        // Coherence workloads generate ~3 messages per op; pre-sizing
+        // the capture buffers avoids re-copying tens of MB of records
+        // as they double at full-system scale.
+        let est_msgs = self.ops_per_core * self.system.cores() * 3;
+        if threads <= 1 {
+            let mut sim = CmpSim::new(self.system.cmp.clone(), Box::new(model), self.workload());
+            let mut cap = Capture::with_capacity(est_msgs);
+            let res = sim.run(&mut cap);
+            return cap.finish("analytic", res.exec_time);
+        }
+        // Conservative lookahead: no message of either class can cross
+        // nodes faster than this under the model's current corrections.
+        let lookahead = model.min_cross_latency(&[
+            (MsgClass::Control, self.system.cmp.ctrl_bytes),
+            (MsgClass::Data, self.system.cmp.data_bytes),
+        ]);
+        let nets: Vec<Box<dyn NetworkModel>> = (0..threads)
+            .map(|_| Box::new(model.clone()) as Box<dyn NetworkModel>)
+            .collect();
+        let workloads: Vec<Box<dyn sctm_cmp::Workload>> = (0..threads)
+            .map(|_| self.workload() as Box<dyn sctm_cmp::Workload>)
+            .collect();
+        let hooks: Vec<Capture> = (0..threads)
+            .map(|_| Capture::with_capacity(est_msgs / threads + 1))
+            .collect();
+        let (res, hooks) =
+            sctm_cmp::par::run_sharded(&self.system.cmp, nets, workloads, hooks, lookahead);
+        Capture::merge(hooks).finish("analytic", res.exec_time)
     }
 
     /// Run in the given mode. Trace modes capture internally; use
@@ -176,15 +265,34 @@ impl Experiment {
             }
             let est = result.est_exec_time;
             let drift = est.abs_diff(prev_est);
-            // Damped correction update (an undamped loop oscillates:
-            // each re-capture overshoots the contention the previous
-            // correction just absorbed).
+            // Damped warm-start update: the factor table carries over
+            // from the previous iteration (warm start) and each new
+            // measurement is blended in with weight α (an undamped loop
+            // oscillates: each re-capture overshoots the contention the
+            // previous correction just absorbed). `factor_move` is the
+            // message-weighted mean relative change the factors actually
+            // took, measured after clamping/quantisation so it reflects
+            // what the next capture would really see. Weighting by each
+            // pair's message count matters: rare pairs' factors flap by
+            // whole multiples from iteration to iteration without moving
+            // the estimate, so an unweighted max never settles.
             let corr_span = obs::span("sctm", "correct");
             let corr = pair_corrections(&log, &result, |m| model.base_latency(m));
-            for &((s, d, class), f) in &corr {
+            let alpha = self.damping;
+            let (mut moved_weighted, mut weight) = (0.0f64, 0.0f64);
+            for &((s, d, class), f, count) in &corr {
                 let old = model.correction(NodeId(s), NodeId(d), class);
-                model.set_correction(NodeId(s), NodeId(d), class, 0.5 * old + 0.5 * f);
+                model.set_correction(NodeId(s), NodeId(d), class, (1.0 - alpha) * old + alpha * f);
+                let installed = model.correction(NodeId(s), NodeId(d), class);
+                let moved = (installed - old).abs() / old.abs().max(1e-12);
+                moved_weighted += moved * count as f64;
+                weight += count as f64;
             }
+            let factor_move = if weight > 0.0 {
+                moved_weighted / weight
+            } else {
+                0.0
+            };
             drop(corr_span);
             // Note: per-destination service learning
             // (`dst_service_estimates`) is deliberately NOT applied
@@ -199,6 +307,7 @@ impl Experiment {
                 est_exec_time: est,
                 drift,
                 corrections: corr.len(),
+                factor_move,
                 messages: log.len() as u64,
             });
             obs::record_iteration(obs::IterTelemetry {
@@ -214,7 +323,14 @@ impl Experiment {
             prev_est = est;
             last = Some((log, result));
             if drift.as_ps() * 200 < est.as_ps() {
-                break; // < 0.5% movement
+                break; // < 0.5% movement of the estimate
+            }
+            if self.factor_epsilon > 0.0 && factor_move < self.factor_epsilon {
+                // The correction table itself has stabilised: the next
+                // re-capture would see (quantised) factors within ε of
+                // the ones that produced this iteration, so skip the
+                // confirmation capture entirely.
+                break;
             }
         }
         let (log, result) = last.unwrap();
@@ -446,6 +562,33 @@ mod tests {
             last < first || iters.len() == 1,
             "no convergence: first drift {first}, last {last}"
         );
+    }
+
+    #[test]
+    fn factor_epsilon_early_exit_never_needs_more_iterations() {
+        let e = exp(NetworkKind::Omesh);
+        let strict = e
+            .clone()
+            .with_factor_epsilon(0.0)
+            .run(Mode::SelfCorrection { max_iters: 6 });
+        let loose = e
+            .clone()
+            .with_factor_epsilon(0.5)
+            .run(Mode::SelfCorrection { max_iters: 6 });
+        let n_strict = strict.iterations.as_ref().unwrap().len();
+        let n_loose = loose.iterations.as_ref().unwrap().len();
+        assert!(
+            n_loose <= n_strict,
+            "loose ε took {n_loose} iters, strict took {n_strict}"
+        );
+    }
+
+    #[test]
+    fn damping_weight_is_configurable_and_converges() {
+        let e = exp(NetworkKind::Omesh).with_damping(0.7);
+        let r = e.run(Mode::SelfCorrection { max_iters: 6 });
+        assert!(r.exec_time > SimTime::ZERO);
+        assert!(!r.iterations.as_ref().unwrap().is_empty());
     }
 
     #[test]

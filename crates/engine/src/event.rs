@@ -1,11 +1,28 @@
 //! Deterministic pending-event set.
 //!
-//! A thin wrapper around `BinaryHeap` that delivers events in
-//! `(timestamp, insertion sequence)` order. The sequence tiebreak is what
-//! makes whole-simulation determinism possible: `BinaryHeap` alone is
-//! not stable, so two events scheduled for the same picosecond could pop
-//! in either order depending on heap shape, and any RNG draw or stats
-//! update downstream of that order would diverge between runs.
+//! [`EventQueue`] delivers events in `(timestamp, insertion sequence)`
+//! order. The sequence tiebreak is what makes whole-simulation
+//! determinism possible: a bare priority structure is not stable, so two
+//! events scheduled for the same picosecond could pop in either order
+//! depending on internal shape, and any RNG draw or stats update
+//! downstream of that order would diverge between runs.
+//!
+//! Two backends implement the same contract:
+//!
+//! * a binary heap (`BinaryHeap<QueuedEvent>`), O(log n) push/pop — the
+//!   original implementation, still available for comparison;
+//! * a calendar queue (time wheel), O(1) amortised push/pop on the
+//!   dense, near-monotone schedules discrete-event network models
+//!   produce. Buckets self-resize (count and width) as the schedule
+//!   density changes, and events beyond the wheel horizon spill to a
+//!   fallback overflow heap, so pathological schedules degrade to heap
+//!   behaviour instead of breaking.
+//!
+//! The calendar queue is the default: on the workspace benches
+//! (`bench --bench engine`, capture-shaped and replay-shaped schedules)
+//! it matches the heap on tiny queues and wins on dense ones. Both
+//! backends pop in exactly the same order — property-tested in this
+//! module — so the choice is invisible to every model.
 
 use crate::time::SimTime;
 use std::cmp::Ordering;
@@ -41,6 +58,236 @@ impl<E> PartialOrd for QueuedEvent<E> {
     }
 }
 
+/// Which pending-set implementation an [`EventQueue`] uses.
+#[derive(Clone, Copy, PartialEq, Eq, Debug)]
+pub enum QueueBackend {
+    /// Binary min-heap: O(log n), fully general.
+    Heap,
+    /// Calendar queue (time wheel) with overflow heap: O(1) amortised
+    /// on dense schedules.
+    Calendar,
+}
+
+/// The calendar-queue wheel: `buckets.len()` (a power of two) buckets of
+/// `1 << shift` picoseconds each, covering absolute bucket numbers
+/// `[cursor_ab, cursor_ab + buckets.len())`. Because only that window
+/// maps into the wheel, each bucket holds events of exactly one absolute
+/// bucket — no epoch/year filtering is needed on pop. Events beyond the
+/// horizon wait in `overflow` (a plain heap) and migrate in as the
+/// cursor advances.
+#[derive(Debug)]
+struct Wheel<E> {
+    buckets: Vec<Vec<QueuedEvent<E>>>,
+    /// log2 of the bucket width in picoseconds.
+    shift: u32,
+    /// Absolute bucket number (`at >> shift`) of the wheel cursor. Only
+    /// advanced by `pop` (to the popped event's bucket), so it never
+    /// outruns `now` and late `schedule` calls always land in-window.
+    cursor_ab: u64,
+    /// Events currently stored in the wheel (not counting overflow).
+    count: usize,
+    overflow: BinaryHeap<QueuedEvent<E>>,
+    /// Eagerly-maintained minimum of the *wheel* events (not overflow):
+    /// (at, seq, absolute bucket, index in bucket). Invariant: `Some`
+    /// exactly when `count > 0`, kept correct by every mutation — so
+    /// peeking is a read-only O(1) lookup.
+    cached_min: Option<(SimTime, u64, u64, usize)>,
+}
+
+const WHEEL_MIN_BUCKETS: usize = 16;
+const WHEEL_MAX_BUCKETS: usize = 1 << 16;
+
+impl<E> Wheel<E> {
+    fn new() -> Self {
+        Wheel {
+            buckets: (0..WHEEL_MIN_BUCKETS).map(|_| Vec::new()).collect(),
+            // 1024 ps buckets to start with; resize adapts.
+            shift: 10,
+            cursor_ab: 0,
+            count: 0,
+            overflow: BinaryHeap::new(),
+            cached_min: None,
+        }
+    }
+
+    #[inline]
+    fn mask(&self) -> u64 {
+        (self.buckets.len() - 1) as u64
+    }
+
+    #[inline]
+    fn horizon_ab(&self) -> u64 {
+        self.cursor_ab + self.buckets.len() as u64
+    }
+
+    fn len(&self) -> usize {
+        self.count + self.overflow.len()
+    }
+
+    fn push(&mut self, ev: QueuedEvent<E>, now: SimTime) {
+        if self.count > self.buckets.len() * 2
+            || (self.overflow.len() > 64 && self.overflow.len() > self.count)
+        {
+            self.resize(now);
+        }
+        let ab = ev.at.as_ps() >> self.shift;
+        debug_assert!(ab >= self.cursor_ab, "wheel push into the past");
+        if ab >= self.horizon_ab() {
+            self.overflow.push(ev);
+            return;
+        }
+        // Keep the eager minimum current.
+        match self.cached_min {
+            Some((cat, cseq, _, _)) if (ev.at, ev.seq) < (cat, cseq) => {
+                let idx = self.buckets[(ab & self.mask()) as usize].len();
+                self.cached_min = Some((ev.at, ev.seq, ab, idx));
+            }
+            None => {
+                debug_assert_eq!(self.count, 0);
+                self.cached_min = Some((ev.at, ev.seq, ab, 0));
+            }
+            _ => {}
+        }
+        {
+            let m = self.mask();
+            self.buckets[(ab & m) as usize].push(ev);
+        }
+        self.count += 1;
+    }
+
+    /// The minimum pending event, read-only. The wheel min (eagerly
+    /// maintained) always beats the overflow min when both exist: every
+    /// overflow event sits in a bucket at or past the horizon, strictly
+    /// later than any wheel bucket.
+    fn peek(&self) -> Option<SimTime> {
+        match self.cached_min {
+            Some((at, _, _, _)) => Some(at),
+            None => self.overflow.peek().map(|e| e.at),
+        }
+    }
+
+    /// Recompute `cached_min` by scanning buckets from the cursor.
+    /// O(buckets) worst case, but the scan starts at the cursor (the
+    /// last popped bucket) so on dense schedules it terminates within a
+    /// bucket or two.
+    fn rebuild_min(&mut self) {
+        self.cached_min = None;
+        if self.count == 0 {
+            return;
+        }
+        let mask = self.mask();
+        for step in 0..self.buckets.len() as u64 {
+            let ab = self.cursor_ab + step;
+            let b = &self.buckets[(ab & mask) as usize];
+            if b.is_empty() {
+                continue;
+            }
+            let (mut idx, mut best) = (0usize, (b[0].at, b[0].seq));
+            for (i, e) in b.iter().enumerate().skip(1) {
+                if (e.at, e.seq) < best {
+                    best = (e.at, e.seq);
+                    idx = i;
+                }
+            }
+            self.cached_min = Some((best.0, best.1, ab, idx));
+            return;
+        }
+        unreachable!("wheel count positive but no bucket occupied");
+    }
+
+    fn pop(&mut self) -> Option<QueuedEvent<E>> {
+        match self.cached_min.take() {
+            None => {
+                // Wheel empty: serve straight from the overflow heap,
+                // then advance the cursor to the served bucket and pull
+                // newly in-horizon events forward.
+                let ev = self.overflow.pop()?;
+                self.cursor_ab = ev.at.as_ps() >> self.shift;
+                self.migrate_due();
+                self.rebuild_min();
+                Some(ev)
+            }
+            Some((_, _, ab, idx)) => {
+                let mask = self.mask();
+                let ev = self.buckets[(ab & mask) as usize].swap_remove(idx);
+                self.count -= 1;
+                self.cursor_ab = ab;
+                self.migrate_due();
+                self.rebuild_min();
+                Some(ev)
+            }
+        }
+    }
+
+    /// Pull overflow events that the advancing horizon now covers.
+    fn migrate_due(&mut self) {
+        let mask = self.mask();
+        while let Some(e) = self.overflow.peek() {
+            let ab = e.at.as_ps() >> self.shift;
+            if ab >= self.horizon_ab() {
+                break;
+            }
+            let ev = self.overflow.pop().expect("peeked");
+            self.buckets[(ab & mask) as usize].push(ev);
+            self.count += 1;
+        }
+    }
+
+    /// Rebuild the wheel around the current schedule: bucket count from
+    /// the population, bucket width from the mean event spacing. The
+    /// cursor is re-anchored at `now` (not the earliest pending event)
+    /// because future pushes may still land anywhere at or after `now`.
+    fn resize(&mut self, now: SimTime) {
+        let mut all: Vec<QueuedEvent<E>> = Vec::with_capacity(self.len());
+        for b in &mut self.buckets {
+            all.append(b);
+        }
+        all.extend(std::mem::take(&mut self.overflow).into_vec());
+        self.count = 0;
+        self.cached_min = None;
+        let n = all.len().max(1);
+        let hi = all.iter().map(|e| e.at).max().unwrap_or(now).max(now);
+        let span = hi.as_ps().saturating_sub(now.as_ps()).max(1);
+        // Aim for ~1 event per bucket across the observed span.
+        let width = (span / n as u64).max(1);
+        self.shift = 63 - width.leading_zeros();
+        let want = (n * 2)
+            .next_power_of_two()
+            .clamp(WHEEL_MIN_BUCKETS, WHEEL_MAX_BUCKETS);
+        self.buckets = (0..want).map(|_| Vec::new()).collect();
+        self.cursor_ab = now.as_ps() >> self.shift;
+        for ev in all {
+            let ab = ev.at.as_ps() >> self.shift;
+            if ab >= self.horizon_ab() {
+                self.overflow.push(ev);
+            } else {
+                {
+                    let m = self.mask();
+                    self.buckets[(ab & m) as usize].push(ev);
+                }
+                self.count += 1;
+            }
+        }
+        self.rebuild_min();
+    }
+
+    fn clear(&mut self) {
+        for b in &mut self.buckets {
+            b.clear();
+        }
+        self.overflow.clear();
+        self.count = 0;
+        self.cursor_ab = 0;
+        self.cached_min = None;
+    }
+}
+
+#[derive(Debug)]
+enum Backend<E> {
+    Heap(BinaryHeap<QueuedEvent<E>>),
+    Calendar(Wheel<E>),
+}
+
 /// Min-queue of timestamped events with FIFO tiebreak.
 ///
 /// Also tracks the current simulation time (`now`), which advances
@@ -50,7 +297,7 @@ impl<E> PartialOrd for QueuedEvent<E> {
 /// cold error path).
 #[derive(Debug)]
 pub struct EventQueue<E> {
-    heap: BinaryHeap<QueuedEvent<E>>,
+    backend: Backend<E>,
     next_seq: u64,
     now: SimTime,
 }
@@ -62,19 +309,35 @@ impl<E> Default for EventQueue<E> {
 }
 
 impl<E> EventQueue<E> {
+    /// Default backend: the calendar queue (see module docs).
     pub fn new() -> Self {
+        Self::with_backend(QueueBackend::Calendar)
+    }
+
+    pub fn with_backend(backend: QueueBackend) -> Self {
         EventQueue {
-            heap: BinaryHeap::new(),
+            backend: match backend {
+                QueueBackend::Heap => Backend::Heap(BinaryHeap::new()),
+                QueueBackend::Calendar => Backend::Calendar(Wheel::new()),
+            },
             next_seq: 0,
             now: SimTime::ZERO,
         }
     }
 
     pub fn with_capacity(cap: usize) -> Self {
-        EventQueue {
-            heap: BinaryHeap::with_capacity(cap),
-            next_seq: 0,
-            now: SimTime::ZERO,
+        let mut q = Self::new();
+        if let Backend::Heap(h) = &mut q.backend {
+            h.reserve(cap);
+        }
+        q
+    }
+
+    /// Which backend this queue runs on.
+    pub fn backend(&self) -> QueueBackend {
+        match self.backend {
+            Backend::Heap(_) => QueueBackend::Heap,
+            Backend::Calendar(_) => QueueBackend::Calendar,
         }
     }
 
@@ -87,12 +350,15 @@ impl<E> EventQueue<E> {
     /// Number of pending events.
     #[inline]
     pub fn len(&self) -> usize {
-        self.heap.len()
+        match &self.backend {
+            Backend::Heap(h) => h.len(),
+            Backend::Calendar(w) => w.len(),
+        }
     }
 
     #[inline]
     pub fn is_empty(&self) -> bool {
-        self.heap.is_empty()
+        self.len() == 0
     }
 
     /// Schedule `payload` at absolute time `at`.
@@ -106,7 +372,11 @@ impl<E> EventQueue<E> {
         let at = at.max(self.now);
         let seq = self.next_seq;
         self.next_seq += 1;
-        self.heap.push(QueuedEvent { at, seq, payload });
+        let ev = QueuedEvent { at, seq, payload };
+        match &mut self.backend {
+            Backend::Heap(h) => h.push(ev),
+            Backend::Calendar(w) => w.push(ev, self.now),
+        }
     }
 
     /// Schedule `payload` at `now + delay`.
@@ -119,13 +389,19 @@ impl<E> EventQueue<E> {
     /// Timestamp of the next event without popping it.
     #[inline]
     pub fn peek_time(&self) -> Option<SimTime> {
-        self.heap.peek().map(|e| e.at)
+        match &self.backend {
+            Backend::Heap(h) => h.peek().map(|e| e.at),
+            Backend::Calendar(w) => w.peek(),
+        }
     }
 
     /// Pop the earliest event, advancing `now` to its timestamp.
     #[inline]
     pub fn pop(&mut self) -> Option<QueuedEvent<E>> {
-        let ev = self.heap.pop()?;
+        let ev = match &mut self.backend {
+            Backend::Heap(h) => h.pop()?,
+            Backend::Calendar(w) => w.pop()?,
+        };
         debug_assert!(ev.at >= self.now, "event queue time went backwards");
         self.now = ev.at;
         Some(ev)
@@ -153,7 +429,10 @@ impl<E> EventQueue<E> {
     /// Drop all pending events and reset the clock. Sequence numbers are
     /// *not* reset, so replaying after a drain still has unique seqs.
     pub fn clear(&mut self) {
-        self.heap.clear();
+        match &mut self.backend {
+            Backend::Heap(h) => h.clear(),
+            Backend::Calendar(w) => w.clear(),
+        }
         self.now = SimTime::ZERO;
     }
 }
@@ -161,78 +440,96 @@ impl<E> EventQueue<E> {
 #[cfg(test)]
 mod tests {
     use super::*;
+    use crate::rng::StreamRng;
+
+    fn both() -> [EventQueue<u64>; 2] {
+        [
+            EventQueue::with_backend(QueueBackend::Heap),
+            EventQueue::with_backend(QueueBackend::Calendar),
+        ]
+    }
 
     #[test]
     fn pops_in_time_order() {
-        let mut q = EventQueue::new();
-        q.schedule(SimTime::from_ps(30), "c");
-        q.schedule(SimTime::from_ps(10), "a");
-        q.schedule(SimTime::from_ps(20), "b");
-        let order: Vec<_> = std::iter::from_fn(|| q.pop().map(|e| e.payload)).collect();
-        assert_eq!(order, vec!["a", "b", "c"]);
+        for mut q in [
+            EventQueue::with_backend(QueueBackend::Heap),
+            EventQueue::with_backend(QueueBackend::Calendar),
+        ] {
+            q.schedule(SimTime::from_ps(30), "c");
+            q.schedule(SimTime::from_ps(10), "a");
+            q.schedule(SimTime::from_ps(20), "b");
+            let order: Vec<_> = std::iter::from_fn(|| q.pop().map(|e| e.payload)).collect();
+            assert_eq!(order, vec!["a", "b", "c"]);
+        }
     }
 
     #[test]
     fn ties_break_fifo() {
-        let mut q = EventQueue::new();
-        for i in 0..100 {
-            q.schedule(SimTime::from_ps(5), i);
+        for mut q in both() {
+            for i in 0..100 {
+                q.schedule(SimTime::from_ps(5), i);
+            }
+            let order: Vec<_> = std::iter::from_fn(|| q.pop().map(|e| e.payload)).collect();
+            assert_eq!(order, (0..100).collect::<Vec<_>>());
         }
-        let order: Vec<_> = std::iter::from_fn(|| q.pop().map(|e| e.payload)).collect();
-        assert_eq!(order, (0..100).collect::<Vec<_>>());
     }
 
     #[test]
     fn now_tracks_last_pop() {
-        let mut q = EventQueue::new();
-        q.schedule(SimTime::from_ps(42), ());
-        assert_eq!(q.now(), SimTime::ZERO);
-        q.pop();
-        assert_eq!(q.now(), SimTime::from_ps(42));
+        for mut q in both() {
+            q.schedule(SimTime::from_ps(42), 0);
+            assert_eq!(q.now(), SimTime::ZERO);
+            q.pop();
+            assert_eq!(q.now(), SimTime::from_ps(42));
+        }
     }
 
     #[test]
     fn schedule_in_is_relative() {
-        let mut q = EventQueue::new();
-        q.schedule(SimTime::from_ps(10), 1);
-        q.pop();
-        q.schedule_in(SimTime::from_ps(5), 2);
-        assert_eq!(q.peek_time(), Some(SimTime::from_ps(15)));
+        for mut q in both() {
+            q.schedule(SimTime::from_ps(10), 1);
+            q.pop();
+            q.schedule_in(SimTime::from_ps(5), 2);
+            assert_eq!(q.peek_time(), Some(SimTime::from_ps(15)));
+        }
     }
 
     #[test]
     fn pop_before_respects_deadline() {
-        let mut q = EventQueue::new();
-        q.schedule(SimTime::from_ps(10), 1);
-        q.schedule(SimTime::from_ps(20), 2);
-        assert_eq!(
-            q.pop_before(SimTime::from_ps(15)).map(|e| e.payload),
-            Some(1)
-        );
-        assert_eq!(q.pop_before(SimTime::from_ps(15)), None);
-        assert_eq!(q.len(), 1);
+        for mut q in both() {
+            q.schedule(SimTime::from_ps(10), 1);
+            q.schedule(SimTime::from_ps(20), 2);
+            assert_eq!(
+                q.pop_before(SimTime::from_ps(15)).map(|e| e.payload),
+                Some(1)
+            );
+            assert!(q.pop_before(SimTime::from_ps(15)).is_none());
+            assert_eq!(q.len(), 1);
+        }
     }
 
     #[test]
     fn advance_to_is_monotone() {
-        let mut q: EventQueue<()> = EventQueue::new();
-        q.advance_to(SimTime::from_ps(100));
-        assert_eq!(q.now(), SimTime::from_ps(100));
-        q.advance_to(SimTime::from_ps(50));
-        assert_eq!(q.now(), SimTime::from_ps(100));
+        for mut q in both() {
+            q.advance_to(SimTime::from_ps(100));
+            assert_eq!(q.now(), SimTime::from_ps(100));
+            q.advance_to(SimTime::from_ps(50));
+            assert_eq!(q.now(), SimTime::from_ps(100));
+        }
     }
 
     #[test]
     fn clear_resets_clock_but_not_seq() {
-        let mut q = EventQueue::new();
-        q.schedule(SimTime::from_ps(10), 1);
-        q.pop();
-        q.clear();
-        assert_eq!(q.now(), SimTime::ZERO);
-        assert!(q.is_empty());
-        q.schedule(SimTime::from_ps(1), 2);
-        let e = q.pop().unwrap();
-        assert!(e.seq >= 1, "sequence numbers must stay unique across clear");
+        for mut q in both() {
+            q.schedule(SimTime::from_ps(10), 1);
+            q.pop();
+            q.clear();
+            assert_eq!(q.now(), SimTime::ZERO);
+            assert!(q.is_empty());
+            q.schedule(SimTime::from_ps(1), 2);
+            let e = q.pop().unwrap();
+            assert!(e.seq >= 1, "sequence numbers must stay unique across clear");
+        }
     }
 
     #[test]
@@ -243,5 +540,79 @@ mod tests {
         q.schedule(SimTime::from_ps(10), ());
         q.pop();
         q.schedule(SimTime::from_ps(5), ());
+    }
+
+    /// Drive both backends through an identical randomized schedule of
+    /// interleaved pushes and pops and require byte-identical pop
+    /// sequences — including `(at, seq)` of every event. Heavy bursts of
+    /// same-timestamp events exercise the FIFO tiebreak; occasional
+    /// far-future times exercise the overflow heap; tight loops around
+    /// `now` exercise cursor advancement.
+    #[test]
+    fn calendar_matches_heap_order_under_random_bursts() {
+        for round in 0..20u64 {
+            let mut rng = StreamRng::new(0xE7E_u64 ^ round);
+            let mut heap = EventQueue::with_backend(QueueBackend::Heap);
+            let mut cal = EventQueue::with_backend(QueueBackend::Calendar);
+            let mut payload = 0u64;
+            for _ in 0..400 {
+                match rng.next_u64() % 4 {
+                    // Burst of same-timestamp events.
+                    0 => {
+                        let t = heap.now().as_ps() + rng.next_u64() % 5_000;
+                        let burst = 1 + rng.next_u64() % 12;
+                        for _ in 0..burst {
+                            let at = SimTime::from_ps(t);
+                            heap.schedule(at, payload);
+                            cal.schedule(at, payload);
+                            payload += 1;
+                        }
+                    }
+                    // Far-future event (overflow path).
+                    1 => {
+                        let at = SimTime::from_ps(
+                            heap.now().as_ps() + 1_000_000 + rng.next_u64() % 1_000_000,
+                        );
+                        heap.schedule(at, payload);
+                        cal.schedule(at, payload);
+                        payload += 1;
+                    }
+                    // Near-term event.
+                    2 => {
+                        let at = SimTime::from_ps(heap.now().as_ps() + rng.next_u64() % 200);
+                        heap.schedule(at, payload);
+                        cal.schedule(at, payload);
+                        payload += 1;
+                    }
+                    // Pop a few.
+                    _ => {
+                        for _ in 0..(1 + rng.next_u64() % 6) {
+                            let a = heap.pop();
+                            let b = cal.pop();
+                            match (a, b) {
+                                (None, None) => {}
+                                (Some(x), Some(y)) => {
+                                    assert_eq!((x.at, x.seq, x.payload), (y.at, y.seq, y.payload));
+                                    assert_eq!(heap.now(), cal.now());
+                                }
+                                (x, y) => panic!("backends disagree on emptiness: {x:?} vs {y:?}"),
+                            }
+                        }
+                    }
+                }
+                assert_eq!(heap.len(), cal.len());
+                assert_eq!(heap.peek_time(), cal.peek_time());
+            }
+            // Drain fully: remaining order must match exactly.
+            loop {
+                match (heap.pop(), cal.pop()) {
+                    (None, None) => break,
+                    (Some(x), Some(y)) => {
+                        assert_eq!((x.at, x.seq, x.payload), (y.at, y.seq, y.payload))
+                    }
+                    (x, y) => panic!("drain length mismatch: {x:?} vs {y:?}"),
+                }
+            }
+        }
     }
 }

@@ -159,20 +159,22 @@ struct MsgState {
     msg: Message,
     injected_at: SimTime,
     route: Route,
-    /// Current position along the XY route.
-    hop: usize,
     /// When this message's setup joined a segment wait queue (valid
     /// while parked in `seg_wait`; used only for blame accounting).
     blocked_at: SimTime,
     bd: LatencyBreakdown,
 }
 
+/// The route position travels *in the event*, not in [`MsgState`]: the
+/// per-hop handlers are the replay hot path, and carrying `hop` in the
+/// payload means the common (non-capture) path reads the message table
+/// once per event instead of read-then-write.
 #[derive(Clone, Copy, Debug)]
 enum Ev {
-    /// Optical path setup packet arrives at `path[hop]`.
-    Setup(u64),
-    /// Electrical control message arrives at `path[hop]`.
-    CtrlHop(u64),
+    /// Optical path setup packet arrives at route position `hop`.
+    Setup(u64, u32),
+    /// Electrical control message arrives at route position `hop`.
+    CtrlHop(u64, u32),
     /// Optical burst fully received; tear down and deliver.
     OptDone(u64),
     /// Electrical delivery.
@@ -186,7 +188,8 @@ pub struct OmeshSim {
     msgs: MsgTable<MsgState>,
     /// Directed segment `node*4+dir` → holder message id.
     seg_busy: Vec<Option<u64>>,
-    seg_wait: Vec<VecDeque<u64>>,
+    /// Parked setups per segment: `(message id, route position)`.
+    seg_wait: Vec<VecDeque<(u64, u32)>>,
     /// When each busy segment was last acquired (valid while busy).
     seg_since: Vec<SimTime>,
     /// Cumulative outbound-segment busy time per node, for observability.
@@ -278,8 +281,8 @@ impl OmeshSim {
 
     fn handle(&mut self, at: SimTime, ev: Ev, out: &mut Vec<Delivery>) {
         match ev {
-            Ev::Setup(id) => self.handle_setup(at, id),
-            Ev::CtrlHop(id) => self.handle_ctrl_hop(at, id),
+            Ev::Setup(id, hop) => self.handle_setup(at, id, hop),
+            Ev::CtrlHop(id, hop) => self.handle_ctrl_hop(at, id, hop),
             Ev::OptDone(id) => self.handle_opt_done(at, id, out),
             Ev::CtrlDone(id) => {
                 let st = self.msgs.remove(id).expect("ctrl done for unknown msg");
@@ -334,11 +337,13 @@ impl OmeshSim {
         });
     }
 
-    fn handle_setup(&mut self, at: SimTime, id: u64) {
-        let st = *self.msgs.get(id).expect("setup for unknown msg");
-        let here = st.route.node(self.side, st.hop);
-        let len = st.route.len();
-        let last = st.hop + 1 == len;
+    fn handle_setup(&mut self, at: SimTime, id: u64, hop: u32) {
+        let hop = hop as usize;
+        let st = self.msgs.get(id).expect("setup for unknown msg");
+        let (route, msg) = (st.route, st.msg);
+        let here = route.node(self.side, hop);
+        let len = route.len();
+        let last = hop + 1 == len;
         let svc_done = self.serve(here, at);
         if self.capture {
             let svc = self.cycles(self.cfg.service_cycles).as_ps();
@@ -350,18 +355,18 @@ impl OmeshSim {
             // Path fully reserved. ACK back to source (uncontended
             // control broadcast on the reserved path), then the optical
             // burst: time of flight + serialisation.
-            debug_assert_eq!(here, st.msg.dst);
+            debug_assert_eq!(here, msg.dst);
             let hops = (len - 1) as u64;
             let ack = if self.cfg.ack_required {
                 self.cycles(self.cfg.setup_hop_cycles * hops)
             } else {
                 SimTime::ZERO
             };
-            let length_mm = self.cfg.floorplan.mesh_distance_mm(st.msg.src, st.msg.dst);
+            let length_mm = self.cfg.floorplan.mesh_distance_mm(msg.src, msg.dst);
             let tof = SimTime::from_ps(self.cfg.kit.waveguide.tof_ps(length_mm));
-            let burst = self.cfg.plan.burst_time(st.msg.bytes);
+            let burst = self.cfg.plan.burst_time(msg.bytes);
             let arrive = svc_done + ack + tof + burst + self.cycles(self.cfg.ni_cycles);
-            self.optical_bits += st.msg.bytes as u64 * 8;
+            self.optical_bits += msg.bytes as u64 * 8;
             if self.capture {
                 let ni = self.cycles(self.cfg.ni_cycles).as_ps();
                 let bd = &mut self.msgs.get_mut(id).expect("unknown message").bd;
@@ -372,59 +377,59 @@ impl OmeshSim {
             }
             self.q.schedule(arrive, Ev::OptDone(id));
         } else {
-            let seg = st.route.seg(self.side, st.hop);
+            let seg = route.seg(self.side, hop);
             if self.seg_busy[seg].is_none() {
                 self.seg_busy[seg] = Some(id);
                 self.seg_since[seg] = svc_done;
                 obs::sim_event("omesh", "arbitrate", (seg / 4) as u32, svc_done);
-                self.advance_setup(id, svc_done);
+                self.advance_setup(id, hop as u32, svc_done);
             } else {
                 if self.capture {
                     self.msgs.get_mut(id).expect("unknown message").blocked_at = svc_done;
                 }
-                self.seg_wait[seg].push_back(id);
+                self.seg_wait[seg].push_back((id, hop as u32));
             }
         }
     }
 
-    /// Move the setup to the next router (segment already reserved).
-    fn advance_setup(&mut self, id: u64, from_time: SimTime) {
+    /// Move the setup from route position `hop` to the next router
+    /// (segment already reserved). No table access on the common path:
+    /// the position rides in the event.
+    fn advance_setup(&mut self, id: u64, hop: u32, from_time: SimTime) {
         let hop_time = self.cycles(self.cfg.setup_hop_cycles);
-        let capture = self.capture;
-        let st = self.msgs.get_mut(id).unwrap();
-        st.hop += 1;
-        if capture {
+        if self.capture {
+            let st = self.msgs.get_mut(id).unwrap();
             st.bd.propagation_ps += hop_time.as_ps();
         }
         let t = from_time + hop_time;
-        self.q.schedule(t.max(self.q.now()), Ev::Setup(id));
+        self.q.schedule(t.max(self.q.now()), Ev::Setup(id, hop + 1));
     }
 
-    fn handle_ctrl_hop(&mut self, at: SimTime, id: u64) {
-        let st = *self.msgs.get(id).expect("ctrl hop for unknown msg");
-        let here = st.route.node(self.side, st.hop);
-        let last = st.hop + 1 == st.route.len();
+    fn handle_ctrl_hop(&mut self, at: SimTime, id: u64, hop: u32) {
+        let hop = hop as usize;
+        let route = self.msgs.get(id).expect("ctrl hop for unknown msg").route;
+        let here = route.node(self.side, hop);
+        let last = hop + 1 == route.len();
         let svc_done = self.serve(here, at);
         if self.capture {
             let svc = self.cycles(self.cfg.service_cycles).as_ps();
             let ni = self.cycles(self.cfg.ni_cycles).as_ps();
-            let hop = self.cycles(self.cfg.setup_hop_cycles).as_ps();
+            let wire = self.cycles(self.cfg.setup_hop_cycles).as_ps();
             let bd = &mut self.msgs.get_mut(id).expect("unknown message").bd;
             bd.queue_ps += svc_done.saturating_since(at).as_ps().saturating_sub(svc);
             bd.arbitration_ps += svc;
             if last {
                 bd.overhead_ps += ni; // trailing NI on the electrical plane
             } else {
-                bd.propagation_ps += hop; // wire hop to the next router
+                bd.propagation_ps += wire; // wire hop to the next router
             }
         }
         if last {
             let t = svc_done + self.cycles(self.cfg.ni_cycles);
             self.q.schedule(t, Ev::CtrlDone(id));
         } else {
-            self.msgs.get_mut(id).unwrap().hop += 1;
             let t = svc_done + self.cycles(self.cfg.setup_hop_cycles);
-            self.q.schedule(t, Ev::CtrlHop(id));
+            self.q.schedule(t, Ev::CtrlHop(id, hop as u32 + 1));
         }
     }
 
@@ -436,7 +441,7 @@ impl OmeshSim {
             debug_assert_eq!(self.seg_busy[seg], Some(id), "segment not held by owner");
             self.seg_busy[seg] = None;
             self.node_busy_ps[seg / 4] += at.saturating_since(self.seg_since[seg]).as_ps();
-            if let Some(next_id) = self.seg_wait[seg].pop_front() {
+            if let Some((next_id, next_hop)) = self.seg_wait[seg].pop_front() {
                 self.seg_busy[seg] = Some(next_id);
                 self.seg_since[seg] = at;
                 obs::sim_event("omesh", "arbitrate", (seg / 4) as u32, at);
@@ -444,7 +449,7 @@ impl OmeshSim {
                     let w = self.msgs.get_mut(next_id).expect("unknown waiter");
                     w.bd.queue_ps += at.saturating_since(w.blocked_at).as_ps();
                 }
-                self.advance_setup(next_id, at);
+                self.advance_setup(next_id, next_hop, at);
             }
         }
         obs::sim_event("omesh", "deliver", st.msg.dst.0, at);
@@ -482,7 +487,6 @@ impl NetworkModel for OmeshSim {
             msg,
             injected_at: at,
             route: Route::new(self.side, msg.src, msg.dst),
-            hop: 0,
             blocked_at: SimTime::ZERO,
             bd,
         };
@@ -490,9 +494,9 @@ impl NetworkModel for OmeshSim {
         debug_assert!(prev.is_none(), "duplicate message id {id}");
         let start = at + self.cycles(self.cfg.ni_cycles);
         if electrical {
-            self.q.schedule(start, Ev::CtrlHop(id));
+            self.q.schedule(start, Ev::CtrlHop(id, 0));
         } else {
-            self.q.schedule(start, Ev::Setup(id));
+            self.q.schedule(start, Ev::Setup(id, 0));
         }
     }
 

@@ -15,7 +15,7 @@
 //! comparison (experiment E3) apples-to-apples.
 
 use sctm_cmp::protocol::{InjectRecord, TraceHook};
-use sctm_engine::net::{Message, MsgId};
+use sctm_engine::net::{Message, MsgClass, MsgId, NodeId};
 use sctm_engine::time::SimTime;
 
 /// One message in the trace.
@@ -116,48 +116,94 @@ impl TraceLog {
     /// node before it transmitted, but not *which* arrival caused what.
     pub fn arrival_gates(&self) -> Vec<Option<MsgId>> {
         let mut gates = Vec::new();
-        self.arrival_gates_into(&mut gates, &mut Vec::new(), &mut Vec::new());
+        let (nodes, canonical) = self.scan_bounds();
+        self.arrival_gates_into(
+            &mut gates,
+            &mut Vec::new(),
+            &mut Vec::new(),
+            nodes,
+            canonical,
+        );
         gates
+    }
+
+    /// One fused pass over the records computing the two facts every
+    /// replay pass needs: the node-id bound and whether the log is in
+    /// canonical `(t_inject, id)` order with dense ids. The record
+    /// array is ~100 bytes/entry, so each separate scan of it is a
+    /// strided walk over tens of MB at fft-64 scale — callers should
+    /// scan once and hand both results to [`TraceLog::arrival_gates_into`]
+    /// and the replay chain builder rather than letting each recompute.
+    pub fn scan_bounds(&self) -> (usize, bool) {
+        let mut nodes = 0usize;
+        let mut canonical = true;
+        let mut prev = (SimTime::ZERO, 0u64);
+        for (i, r) in self.records.iter().enumerate() {
+            nodes = nodes.max(r.msg.src.idx() + 1).max(r.msg.dst.idx() + 1);
+            let key = (r.t_inject, r.msg.id.0);
+            canonical &= prev <= key && r.msg.id.0 as usize == i;
+            prev = key;
+        }
+        (nodes, canonical)
     }
 
     /// [`TraceLog::arrival_gates`] writing into caller-owned buffers, so
     /// a replay loop can recompute the gating every pass without
-    /// reallocating its event list (`2 × len` entries) each time.
-    /// `events` and `last_arrival` are pure scratch; all three buffers
-    /// are cleared and resized here.
+    /// reallocating its arrival list each time. `arrivals` and
+    /// `last_arrival` are pure scratch; all three buffers are cleared
+    /// and resized here.
+    ///
+    /// The conceptual event order is `(time, arrivals-before-departures,
+    /// id)`. Departures in that order are exactly the records in
+    /// canonical trace order (`finish` sorts by `(t_inject, id)`), so
+    /// only the arrivals need sorting — half the data the naive
+    /// sort-everything formulation pays for — and the two streams merge
+    /// in one pass. Non-canonical logs (hand-built in tests) fall back
+    /// to sorting a departure index.
     pub fn arrival_gates_into(
         &self,
         gates: &mut Vec<Option<MsgId>>,
-        events: &mut Vec<(SimTime, bool, u64)>,
+        arrivals: &mut Vec<(SimTime, u32)>,
         last_arrival: &mut Vec<Option<MsgId>>,
+        nodes: usize,
+        canonical: bool,
     ) {
-        let mut nodes: usize = 0;
+        arrivals.clear();
+        arrivals.reserve(self.records.len());
         for r in &self.records {
-            nodes = nodes.max(r.msg.src.idx() + 1).max(r.msg.dst.idx() + 1);
+            arrivals.push((r.t_deliver, r.msg.id.0 as u32));
         }
-        // Events per node: (time, is_departure, msg index), processed in
-        // capture time order; ties put arrivals first so a departure at
-        // the same instant sees the arrival.
-        events.clear();
-        events.reserve(self.records.len() * 2);
-        for r in &self.records {
-            events.push((r.t_inject, true, r.msg.id.0));
-            events.push((r.t_deliver, false, r.msg.id.0));
-        }
-        // Each (is_departure, id) pair occurs exactly once, so the full
-        // key is unique and the unstable sort is order-equivalent.
-        events.sort_unstable_by_key(|&(t, dep, id)| (t, dep, id));
+        arrivals.sort_unstable();
         last_arrival.clear();
         last_arrival.resize(nodes, None);
         gates.clear();
         gates.resize(self.records.len(), None);
-        for &(_, is_dep, id) in events.iter() {
-            let r = &self.records[id as usize];
-            if is_dep {
-                gates[id as usize] = last_arrival[r.msg.src.idx()];
-            } else {
-                last_arrival[r.msg.dst.idx()] = Some(MsgId(id));
+        let dep_order: Vec<u32> = if canonical {
+            Vec::new()
+        } else {
+            let mut idx: Vec<u32> = (0..self.records.len() as u32).collect();
+            idx.sort_unstable_by_key(|&i| {
+                let r = &self.records[i as usize];
+                (r.t_inject, r.msg.id.0)
+            });
+            idx
+        };
+        let mut ai = 0usize;
+        let mut gate = |di: usize| {
+            let r = &self.records[di];
+            // An arrival at the departure's instant is seen by it.
+            while ai < arrivals.len() && arrivals[ai].0 <= r.t_inject {
+                let (_, id) = arrivals[ai];
+                let dst = self.records[id as usize].msg.dst.idx();
+                last_arrival[dst] = Some(MsgId(id as u64));
+                ai += 1;
             }
+            gates[r.msg.id.0 as usize] = last_arrival[r.msg.src.idx()];
+        };
+        if canonical {
+            (0..self.records.len()).for_each(&mut gate);
+        } else {
+            dep_order.iter().for_each(|&di| gate(di as usize));
         }
     }
 
@@ -179,9 +225,31 @@ impl TraceLog {
 }
 
 /// Capture hook: plugs into `CmpSim::run` and builds a [`TraceLog`].
+///
+/// The hook records raw injections and deliveries exactly as it sees
+/// them; [`Capture::finish`] canonicalizes afterwards. This split is
+/// what makes parallel capture possible: in an epoch-parallel run each
+/// shard owns its own `Capture`, sees injections for messages *sourced*
+/// at its nodes and deliveries for messages *destined* to them, and the
+/// per-shard parts are concatenated with [`Capture::merge`] before the
+/// single canonicalizing `finish`. Because the simulator assigns every
+/// message the same id and timestamps regardless of sharding, the
+/// canonical form — records sorted by `(t_inject, capture id)`, densely
+/// renumbered, deps/prev remapped — is byte-identical at any thread
+/// count.
 #[derive(Debug, Default)]
 pub struct Capture {
-    log: TraceLog,
+    /// Raw injection records, in the order this hook observed them.
+    recs: Vec<InjectRecord>,
+    /// Raw `(capture message id, delivery instant)` pairs.
+    delivers: Vec<(u64, SimTime)>,
+    /// Compact `(at, id)` sort keys, parallel to `recs`. The records
+    /// are ~100 bytes each, so `finish`'s ordering passes walk this
+    /// 16-byte-stride array instead of striding through the records.
+    keys: Vec<(SimTime, u64)>,
+    /// Largest capture-time id seen, tracked here so `finish` can size
+    /// its direct-index tables without rescanning every record.
+    max_id: u64,
 }
 
 impl Capture {
@@ -189,33 +257,165 @@ impl Capture {
         Self::default()
     }
 
-    /// Finish capture. `net_label` and `exec_time` come from the run.
-    pub fn finish(mut self, net_label: &'static str, exec_time: SimTime) -> TraceLog {
-        self.log.capture_net = net_label;
-        self.log.capture_exec_time = exec_time;
-        self.log
+    /// A capture with its buffers pre-sized for roughly `msgs`
+    /// messages. Captures at fft-64 scale retain ~30MB of records, and
+    /// growing there by doubling re-copies the lot — callers that can
+    /// estimate the message count (from the workload size, or from the
+    /// previous self-correction iteration's trace) should.
+    pub fn with_capacity(msgs: usize) -> Self {
+        Capture {
+            recs: Vec::with_capacity(msgs),
+            delivers: Vec::with_capacity(msgs),
+            keys: Vec::with_capacity(msgs),
+            max_id: 0,
+        }
+    }
+
+    /// Concatenate per-shard capture parts into one. Order of parts is
+    /// irrelevant: `finish` canonicalizes.
+    pub fn merge(parts: impl IntoIterator<Item = Capture>) -> Capture {
+        let mut out = Capture::new();
+        for p in parts {
+            out.recs.extend(p.recs);
+            out.delivers.extend(p.delivers);
+            out.keys.extend(p.keys);
+            out.max_id = out.max_id.max(p.max_id);
+        }
+        out
+    }
+
+    /// Finish capture: join injections with deliveries, sort into the
+    /// canonical `(t_inject, capture id)` order, renumber densely, and
+    /// remap all cross-references. `net_label` and `exec_time` come from
+    /// the run.
+    pub fn finish(self, net_label: &'static str, exec_time: SimTime) -> TraceLog {
+        let Capture {
+            recs,
+            delivers,
+            keys,
+            max_id,
+        } = self;
+        assert_eq!(
+            recs.len(),
+            delivers.len(),
+            "capture ended with undelivered (or doubly-delivered) messages"
+        );
+        assert!(
+            recs.len() < u32::MAX as usize,
+            "trace too large to renumber"
+        );
+        // Canonical order is (t_inject, capture id). Sort a u32 index
+        // array rather than the ~100-byte records themselves: the hook
+        // pushed records in injection-time order, so the keys are nearly
+        // sorted and the single gather pass below does all the moving.
+        let mut idx: Vec<u32> = (0..recs.len() as u32).collect();
+        // A sequential capture observes injections in time order
+        // already — only ties (equal `at`, distinct interleaved ids)
+        // are out of place — so one streaming pass over the compact
+        // keys that sorts each tie-run by id replaces the full
+        // O(n log n) sort. Sharded parts concatenated by `merge` fail
+        // the in-order scan and take the full sort.
+        let n = recs.len();
+        let mut in_order = true;
+        let mut run = 0usize;
+        for i in 1..=n {
+            if i < n && keys[i].0 < keys[i - 1].0 {
+                in_order = false;
+                break;
+            }
+            if i == n || keys[i].0 != keys[run].0 {
+                if i - run > 1 {
+                    idx[run..i].sort_unstable_by_key(|&k| keys[k as usize].1);
+                }
+                run = i;
+            }
+        }
+        if !in_order {
+            idx.sort_unstable_by_key(|&i| keys[i as usize]);
+        }
+        // Map capture-time ids (unique but sparse — the simulator
+        // interleaves them per source, `seq × sources + src`) to
+        // canonical dense ids. Sparsity is bounded — the largest id is
+        // below `sources × (max per-source count + 1)` — so a direct
+        // index table is affordable and turns every dep/deliver lookup
+        // into one O(1) probe instead of a cache-hostile binary search
+        // (which dominated capture wall time at ~300k messages).
+        const UNSET: u32 = u32::MAX;
+        let max_id = max_id as usize;
+        let mut renum_tbl = vec![UNSET; max_id + 1];
+        for (new, &i) in idx.iter().enumerate() {
+            renum_tbl[keys[i as usize].1 as usize] = new as u32;
+        }
+        let renum = |old: MsgId| -> MsgId {
+            let new = renum_tbl[old.0 as usize];
+            assert_ne!(new, UNSET, "trace references an uncaptured message");
+            MsgId(new as u64)
+        };
+        // Join deliveries the same way: delivery time by capture id.
+        let t_unset = SimTime::from_ps(u64::MAX);
+        let mut deliver_tbl = vec![t_unset; max_id + 1];
+        for &(id, at) in &delivers {
+            deliver_tbl[id as usize] = at;
+        }
+        // Single gather: move each record to its canonical slot while
+        // renumbering its id and cross-references in place. Each source
+        // slot is visited exactly once (the index array is a
+        // permutation), so swapping a cheap placeholder in is enough —
+        // no second buffer, no per-record clone.
+        let mut recs = recs;
+        let placeholder = || InjectRecord {
+            msg: Message {
+                id: MsgId(u64::MAX),
+                src: NodeId(0),
+                dst: NodeId(0),
+                class: MsgClass::Control,
+                bytes: 0,
+            },
+            at: SimTime::ZERO,
+            deps: Vec::new(),
+            prev_same_src: None,
+            kind: "",
+        };
+        let records: Vec<TraceRecord> = idx
+            .iter()
+            .enumerate()
+            .map(|(new, &i)| {
+                let r = std::mem::replace(&mut recs[i as usize], placeholder());
+                let t_deliver = deliver_tbl[r.msg.id.0 as usize];
+                assert_ne!(t_deliver, t_unset, "message captured but never delivered");
+                let mut msg = r.msg;
+                msg.id = MsgId(new as u64);
+                let mut deps = r.deps;
+                for d in deps.iter_mut() {
+                    *d = renum(*d);
+                }
+                TraceRecord {
+                    msg,
+                    t_inject: r.at,
+                    t_deliver,
+                    deps,
+                    prev_same_src: r.prev_same_src.map(renum),
+                    kind: r.kind,
+                }
+            })
+            .collect();
+        TraceLog {
+            records,
+            capture_net: net_label,
+            capture_exec_time: exec_time,
+        }
     }
 }
 
 impl TraceHook for Capture {
     fn on_inject(&mut self, rec: InjectRecord) {
-        debug_assert_eq!(
-            rec.msg.id.0 as usize,
-            self.log.records.len(),
-            "capture assumes dense sequential message ids"
-        );
-        self.log.records.push(TraceRecord {
-            msg: rec.msg,
-            t_inject: rec.at,
-            t_deliver: SimTime::MAX,
-            deps: rec.deps,
-            prev_same_src: rec.prev_same_src,
-            kind: rec.kind,
-        });
+        self.max_id = self.max_id.max(rec.msg.id.0);
+        self.keys.push((rec.at, rec.msg.id.0));
+        self.recs.push(rec);
     }
 
     fn on_deliver(&mut self, id: MsgId, at: SimTime) {
-        self.log.records[id.0 as usize].t_deliver = at;
+        self.delivers.push((id.0, at));
     }
 }
 
@@ -337,6 +537,77 @@ mod tests {
         assert_eq!(log.rec(MsgId(0)).t_deliver, SimTime::from_ps(90));
         assert_eq!(log.capture_net, "emesh");
         assert_eq!(log.validate(), Ok(()));
+    }
+
+    #[test]
+    fn capture_merge_canonicalizes_sparse_interleaved_ids() {
+        // Two shard-style parts with sparse interleaved ids (seq·n + src,
+        // n = 2): each part sees injections sourced at its node and
+        // deliveries destined to it, exactly as in a sharded capture.
+        let msg = |id, src, dst| Message {
+            id: MsgId(id),
+            src: NodeId(src),
+            dst: NodeId(dst),
+            class: MsgClass::Control,
+            bytes: 8,
+        };
+        let inj = |m, at, deps: Vec<u64>, prev: Option<u64>| InjectRecord {
+            msg: m,
+            at: SimTime::from_ps(at),
+            deps: deps.into_iter().map(MsgId).collect(),
+            prev_same_src: prev.map(MsgId),
+            kind: "t",
+        };
+        let mut a = Capture::new();
+        a.on_inject(inj(msg(0, 0, 1), 10, vec![], None));
+        a.on_inject(inj(msg(2, 0, 1), 300, vec![1], Some(0)));
+        a.on_deliver(MsgId(1), SimTime::from_ps(250));
+        let mut b = Capture::new();
+        b.on_inject(inj(msg(1, 1, 0), 150, vec![0], None));
+        b.on_deliver(MsgId(0), SimTime::from_ps(100));
+        b.on_deliver(MsgId(2), SimTime::from_ps(400));
+        let log = Capture::merge([a, b]).finish("test", SimTime::from_ps(500));
+        assert_eq!(log.validate(), Ok(()));
+        assert_eq!(log.len(), 3);
+        // Canonical (t_inject, id) order here maps old ids 0,1,2 → 0,1,2.
+        assert_eq!(log.rec(MsgId(1)).msg.src, NodeId(1));
+        assert_eq!(log.rec(MsgId(1)).t_deliver, SimTime::from_ps(250));
+        assert_eq!(log.rec(MsgId(2)).deps, vec![MsgId(1)]);
+        assert_eq!(log.rec(MsgId(2)).prev_same_src, Some(MsgId(0)));
+    }
+
+    #[test]
+    fn capture_merge_is_order_invariant() {
+        let build = |swap: bool| {
+            let msg = |id, src, dst| Message {
+                id: MsgId(id),
+                src: NodeId(src),
+                dst: NodeId(dst),
+                class: MsgClass::Data,
+                bytes: 72,
+            };
+            let mut a = Capture::new();
+            a.on_inject(InjectRecord {
+                msg: msg(0, 0, 1),
+                at: SimTime::from_ps(5),
+                deps: vec![],
+                prev_same_src: None,
+                kind: "t",
+            });
+            a.on_deliver(MsgId(1), SimTime::from_ps(90));
+            let mut b = Capture::new();
+            b.on_inject(InjectRecord {
+                msg: msg(1, 1, 0),
+                at: SimTime::from_ps(7),
+                deps: vec![],
+                prev_same_src: None,
+                kind: "t",
+            });
+            b.on_deliver(MsgId(0), SimTime::from_ps(80));
+            let parts = if swap { vec![b, a] } else { vec![a, b] };
+            Capture::merge(parts).finish("test", SimTime::from_ps(100))
+        };
+        assert_eq!(format!("{:?}", build(false)), format!("{:?}", build(true)));
     }
 
     #[test]

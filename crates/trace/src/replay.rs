@@ -122,7 +122,7 @@ pub struct ReplayScratch {
     buf: Vec<Delivery>,
     // Arrival-gating scratch (see `TraceLog::arrival_gates_into`).
     gates: Vec<Option<MsgId>>,
-    events: Vec<(SimTime, bool, u64)>,
+    events: Vec<(SimTime, u32)>,
     last_arrival: Vec<Option<MsgId>>,
 }
 
@@ -164,19 +164,18 @@ impl ReplayScratch {
     /// its source node's time-sorted departure sequence (the chain
     /// `TraceLog::per_source_order` returns as nested vectors, built
     /// here without the per-node allocations).
-    fn build_source_chains(&mut self, log: &TraceLog) {
+    fn build_source_chains(&mut self, log: &TraceLog, nodes: usize, canonical: bool) {
         let n = log.len();
         let mut idx = std::mem::take(&mut self.idx);
         idx.clear();
         idx.extend(0..n as u32);
-        // (t_inject, i) is unique per record, so unstable is safe.
-        idx.sort_unstable_by_key(|&i| (log.records[i as usize].t_inject, i));
-        let nodes = log
-            .records
-            .iter()
-            .map(|r| r.msg.src.idx() + 1)
-            .max()
-            .unwrap_or(0);
+        // Captured logs come out of `Capture::finish` already sorted by
+        // (t_inject, id) = (t_inject, index), so the identity order is
+        // usually the sorted order; only sort hand-built logs.
+        if !canonical {
+            // (t_inject, i) is unique per record, so unstable is safe.
+            idx.sort_unstable_by_key(|&i| (log.records[i as usize].t_inject, i));
+        }
         self.src_last.clear();
         self.src_last.resize(nodes, NONE);
         self.prev_in_order.clear();
@@ -400,12 +399,16 @@ fn gated_pass_with(
     let mut gates = std::mem::take(&mut scratch.gates);
     let mut events = std::mem::take(&mut scratch.events);
     let mut last_arrival = std::mem::take(&mut scratch.last_arrival);
-    log.arrival_gates_into(&mut gates, &mut events, &mut last_arrival);
+    // One fused record scan feeds both the gating and the chain build —
+    // four separate walks over the ~100-byte records measurably slow
+    // the pass down at fft-64 scale.
+    let (nodes, canonical) = log.scan_bounds();
+    log.arrival_gates_into(&mut gates, &mut events, &mut last_arrival, nodes, canonical);
     scratch.events = events;
     scratch.last_arrival = last_arrival;
 
     // Per-source predecessor/successor chains and capture injection gaps.
-    scratch.build_source_chains(log);
+    scratch.build_source_chains(log, nodes, canonical);
     // Capture-anchored deltas: local time between the gating delivery
     // (or the previous departure, for gate-less messages) and this
     // departure, measured on the capture timeline.
@@ -533,50 +536,49 @@ fn gated_pass_with(
 /// These are what the outer self-correction loop feeds back into the
 /// capture model before re-capturing.
 ///
-/// Aggregation is sort-then-group over a flat row vector rather than a
-/// hash map: the per-record key carries the record index, so the sort
-/// key is a unique total order (unstable sort is exact) and each group
-/// accumulates its sums in record order — bit-identical to the hashed
-/// version, without per-record hashing or rehash growth.
+/// Aggregation is a direct-index accumulator table rather than a sort
+/// or hash map: the key space is only `nodes² × 2` cells (192KB at 64
+/// cores — it lives in L2), so one pass over the records in id order
+/// does all the grouping. Each cell accumulates in record order,
+/// exactly the order the earlier sort-then-group formulation visited
+/// (its sort key ended in the record index), so the floating-point sums
+/// — and therefore the factors — are bit-identical to it.
 pub fn pair_corrections(
     log: &TraceLog,
     result: &ReplayResult,
     mut base_latency: impl FnMut(&sctm_engine::net::Message) -> SimTime,
-) -> Vec<((u32, u32, MsgClass), f64)> {
-    let mut rows: Vec<(u32, u32, u8, u32)> = log
-        .records
-        .iter()
-        .enumerate()
-        .map(|(i, r)| {
-            let c = match r.msg.class {
-                MsgClass::Control => 0u8,
-                MsgClass::Data => 1,
-            };
-            (r.msg.src.0, r.msg.dst.0, c, i as u32)
-        })
-        .collect();
-    rows.sort_unstable();
-    let mut out: Vec<((u32, u32, MsgClass), f64)> = Vec::new();
-    let mut k = 0;
-    while k < rows.len() {
-        let (s, d, c, _) = rows[k];
-        let (mut lat, mut base) = (0.0f64, 0.0f64);
-        while k < rows.len() && (rows[k].0, rows[k].1, rows[k].2) == (s, d, c) {
-            let i = rows[k].3 as usize;
-            lat += result.deliver[i].saturating_since(result.inject[i]).as_ps() as f64;
-            base += base_latency(&log.records[i].msg).as_ps() as f64;
-            k += 1;
-        }
+) -> Vec<((u32, u32, MsgClass), f64, u64)> {
+    let mut nodes = 0usize;
+    for r in &log.records {
+        nodes = nodes.max(r.msg.src.idx() + 1).max(r.msg.dst.idx() + 1);
+    }
+    // (replay latency sum, base-model latency sum, message count) per
+    // (src, dst, class) cell.
+    let mut acc: Vec<(f64, f64, u64)> = vec![(0.0, 0.0, 0); nodes * nodes * 2];
+    for (i, r) in log.records.iter().enumerate() {
+        let c = matches!(r.msg.class, MsgClass::Data) as usize;
+        let cell = &mut acc[(r.msg.src.idx() * nodes + r.msg.dst.idx()) * 2 + c];
+        cell.0 += result.deliver[i].saturating_since(result.inject[i]).as_ps() as f64;
+        cell.1 += base_latency(&r.msg).as_ps() as f64;
+        cell.2 += 1;
+    }
+    // Emit in (src, dst, Control-before-Data) order.
+    let mut out: Vec<((u32, u32, MsgClass), f64, u64)> = Vec::new();
+    for (k, &(lat, base, count)) in acc.iter().enumerate() {
         if base > 0.0 {
-            let class = if c == 0 {
+            let class = if k % 2 == 0 {
                 MsgClass::Control
             } else {
                 MsgClass::Data
             };
-            out.push(((s, d, class), lat / base));
+            let pair = k / 2;
+            out.push((
+                ((pair / nodes) as u32, (pair % nodes) as u32, class),
+                lat / base,
+                count,
+            ));
         }
     }
-    // Groups emerge sorted by (src, dst, Control-before-Data) already.
     out
 }
 
@@ -843,18 +845,18 @@ mod tests {
         let r = replay_sctm_pass(&log, net.as_mut());
         let corr = pair_corrections(&log, &r, |m| capture_model.base_latency(m));
         assert!(!corr.is_empty());
-        let mean: f64 = corr.iter().map(|(_, f)| f).sum::<f64>() / corr.len() as f64;
+        let mean: f64 = corr.iter().map(|(_, f, _)| f).sum::<f64>() / corr.len() as f64;
         assert!(
             mean > 1.2,
             "slower target should push correction factors above 1: mean={mean:.2}"
         );
         // All factors positive and finite.
-        assert!(corr.iter().all(|(_, f)| f.is_finite() && *f > 0.0));
+        assert!(corr.iter().all(|(_, f, _)| f.is_finite() && *f > 0.0));
         // Output is sorted by (src, dst, Control-before-Data) with
         // unique keys — the contract the correction installer relies on.
         let keys: Vec<_> = corr
             .iter()
-            .map(|&((s, d, c), _)| (s, d, c == MsgClass::Data))
+            .map(|&((s, d, c), _, _)| (s, d, c == MsgClass::Data))
             .collect();
         assert!(keys.windows(2).all(|w| w[0] < w[1]), "corrections unsorted");
     }

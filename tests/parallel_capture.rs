@@ -1,0 +1,85 @@
+//! Determinism contract of the epoch-parallel capture path: any thread
+//! count must produce byte-identical traces and reports (PR4 tentpole).
+//!
+//! The parallel runner shards the CMP across worker threads with
+//! conservative epoch barriers; these tests pin the user-visible
+//! guarantee — `SCTM_THREADS` changes wall time, never results.
+
+use sctm::workloads::Kernel;
+use sctm::{Experiment, Mode, NetworkKind, RunReport, SystemConfig};
+
+fn exp(kind: NetworkKind, kernel: Kernel) -> Experiment {
+    Experiment::new(SystemConfig::new(4, kind), kernel).with_ops(200)
+}
+
+/// Debug-format a report with the host-dependent wall clock removed;
+/// every simulated quantity must match exactly.
+fn fingerprint(r: &RunReport) -> String {
+    format!(
+        "mode={} net={} wl={} exec={:?} ctrl={:?} data={:?} msgs={} iters={:?}",
+        r.mode,
+        r.network,
+        r.workload,
+        r.exec_time,
+        r.mean_lat_ctrl_ns.to_bits(),
+        r.mean_lat_data_ns.to_bits(),
+        r.messages,
+        r.iterations,
+    )
+}
+
+#[test]
+fn capture_is_byte_identical_at_any_thread_count() {
+    for kernel in Kernel::ALL {
+        let seq = format!("{:?}", exp(NetworkKind::Omesh, kernel).capture());
+        for threads in [2, 4, 8] {
+            let par = format!(
+                "{:?}",
+                exp(NetworkKind::Omesh, kernel)
+                    .with_capture_threads(threads)
+                    .capture()
+            );
+            assert_eq!(
+                seq,
+                par,
+                "{}: capture diverged at {} threads",
+                kernel.label(),
+                threads
+            );
+        }
+    }
+}
+
+#[test]
+fn self_correction_report_is_byte_identical_across_thread_counts() {
+    for kind in NetworkKind::DETAILED {
+        let mode = Mode::SelfCorrection { max_iters: 2 };
+        let seq = exp(kind, Kernel::Fft).with_capture_threads(1).run(mode);
+        let par = exp(kind, Kernel::Fft).with_capture_threads(4).run(mode);
+        assert_eq!(
+            fingerprint(&seq),
+            fingerprint(&par),
+            "{}: SelfCorrection report diverged between 1 and 4 capture threads",
+            kind.label()
+        );
+    }
+}
+
+#[test]
+fn all_modes_match_sequential_with_parallel_capture() {
+    // Trace-driven modes all consume the capture; each must be immune
+    // to the thread count. (ExecutionDriven ignores it by design.)
+    for mode in [
+        Mode::ClassicTrace,
+        Mode::OracleTrace,
+        Mode::SelfCorrection { max_iters: 1 },
+    ] {
+        let seq = exp(NetworkKind::Hybrid, Kernel::Lu)
+            .with_capture_threads(1)
+            .run(mode);
+        let par = exp(NetworkKind::Hybrid, Kernel::Lu)
+            .with_capture_threads(8)
+            .run(mode);
+        assert_eq!(fingerprint(&seq), fingerprint(&par), "{}", mode.label());
+    }
+}

@@ -3,7 +3,7 @@
 //! self-correction loop vs classic trace capture+replay.
 
 use criterion::{black_box, criterion_group, criterion_main, BenchmarkId, Criterion};
-use sctm_core::{Experiment, Mode, NetworkKind, SystemConfig};
+use sctm_core::{Experiment, NetworkKind, RunSpec, SystemConfig};
 use sctm_engine::time::SimTime;
 use sctm_workloads::Kernel;
 
@@ -11,34 +11,32 @@ fn exp(kind: NetworkKind) -> Experiment {
     Experiment::new(SystemConfig::new(4, kind), Kernel::Fft).with_ops(300)
 }
 
+fn go(e: &Experiment, spec: &RunSpec) -> sctm_core::RunReport {
+    e.execute(spec).expect("valid spec").report
+}
+
 fn bench_modes(c: &mut Criterion) {
     let mut g = c.benchmark_group("simulation_mode_fft16");
     g.bench_function(BenchmarkId::from_parameter("exec_omesh"), |b| {
-        b.iter(|| black_box(exp(NetworkKind::Omesh).run(Mode::ExecutionDriven).exec_time))
+        b.iter(|| black_box(go(&exp(NetworkKind::Omesh), &RunSpec::exec_driven()).exec_time))
     });
     g.bench_function(BenchmarkId::from_parameter("exec_emesh_baseline"), |b| {
-        b.iter(|| black_box(exp(NetworkKind::Emesh).run(Mode::ExecutionDriven).exec_time))
+        b.iter(|| black_box(go(&exp(NetworkKind::Emesh), &RunSpec::exec_driven()).exec_time))
     });
     g.bench_function(BenchmarkId::from_parameter("sctm_loop_omesh"), |b| {
-        b.iter(|| {
-            black_box(
-                exp(NetworkKind::Omesh)
-                    .run(Mode::SelfCorrection { max_iters: 3 })
-                    .exec_time,
-            )
-        })
+        b.iter(|| black_box(go(&exp(NetworkKind::Omesh), &RunSpec::self_correction(3)).exec_time))
     });
     g.bench_function(BenchmarkId::from_parameter("classic_trace_omesh"), |b| {
-        b.iter(|| black_box(exp(NetworkKind::Omesh).run(Mode::ClassicTrace).exec_time))
+        b.iter(|| black_box(go(&exp(NetworkKind::Omesh), &RunSpec::classic()).exec_time))
     });
     g.bench_function(BenchmarkId::from_parameter("online_omesh_5us"), |b| {
         b.iter(|| {
             black_box(
-                exp(NetworkKind::Omesh)
-                    .run(Mode::Online {
-                        epoch: SimTime::from_us(5),
-                    })
-                    .exec_time,
+                go(
+                    &exp(NetworkKind::Omesh),
+                    &RunSpec::online(SimTime::from_us(5)),
+                )
+                .exec_time,
             )
         })
     });
@@ -61,22 +59,10 @@ fn bench_capture_64(c: &mut Criterion) {
         );
     }
     g.bench_function(BenchmarkId::from_parameter("sctm_loop_omesh_t1"), |b| {
-        b.iter(|| {
-            black_box(
-                exp64(1)
-                    .run(Mode::SelfCorrection { max_iters: 4 })
-                    .exec_time,
-            )
-        })
+        b.iter(|| black_box(go(&exp64(1), &RunSpec::self_correction(4)).exec_time))
     });
     g.bench_function(BenchmarkId::from_parameter("sctm_loop_omesh_t4"), |b| {
-        b.iter(|| {
-            black_box(
-                exp64(4)
-                    .run(Mode::SelfCorrection { max_iters: 4 })
-                    .exec_time,
-            )
-        })
+        b.iter(|| black_box(go(&exp64(4), &RunSpec::self_correction(4)).exec_time))
     });
     g.finish();
 }

@@ -1,0 +1,78 @@
+//! Wall-time value of the `sctmd` capture cache: a network-config
+//! sweep over one workload served cold (capture per request, cache
+//! disabled by distinct seeds) vs warm (one shared capture), plus the
+//! protocol overhead floor (parse + respond on a cached run).
+
+use criterion::{black_box, criterion_group, criterion_main, BenchmarkId, Criterion};
+use sctm_srv::{parse_request, Request, RunRequest, Server, ServerConfig};
+
+const NETS: [&str; 5] = ["emesh", "omesh", "oxbar", "hybrid", "obus"];
+
+fn run_req(line: &str) -> RunRequest {
+    match parse_request(line).expect("parse") {
+        Request::Run(r) => *r,
+        other => panic!("expected run, got {other:?}"),
+    }
+}
+
+fn sweep(server: &Server, seed_per_request: bool) -> usize {
+    let mut ok = 0;
+    for (i, net) in NETS.iter().cycle().take(10).enumerate() {
+        // Distinct seeds defeat the content addressing, forcing the
+        // cold path; a fixed seed shares one capture across the sweep.
+        let seed = if seed_per_request { i as u64 + 1 } else { 1 };
+        let req = run_req(&format!(
+            "run kernel=fft net={net} side=4 ops=300 seed={seed} mode=sctm iters=2 replay=1 id=b{i}"
+        ));
+        let line = server.submit_blocking(req);
+        assert!(line.contains(r#""status":"ok""#), "{line}");
+        ok += 1;
+    }
+    ok
+}
+
+fn bench_sweep(c: &mut Criterion) {
+    let mut g = c.benchmark_group("srv_sweep_fft16_10req");
+    g.bench_function(BenchmarkId::from_parameter("cold_capture_each"), |b| {
+        b.iter(|| {
+            let server = Server::start(ServerConfig::default());
+            black_box(sweep(&server, true))
+        })
+    });
+    g.bench_function(BenchmarkId::from_parameter("warm_shared_capture"), |b| {
+        // One capture outside the timed region; every request hits.
+        let server = Server::start(ServerConfig::default());
+        sweep(&server, false);
+        b.iter(|| black_box(sweep(&server, false)))
+    });
+    g.finish();
+}
+
+fn bench_overhead(c: &mut Criterion) {
+    let mut g = c.benchmark_group("srv_overhead");
+    g.bench_function(BenchmarkId::from_parameter("parse_request"), |b| {
+        b.iter(|| {
+            black_box(parse_request(
+                "run kernel=fft net=oxbar side=4 ops=600 seed=3 mode=sctm iters=4 \
+                 damping=0.5 epsilon=0.05 replay=1 id=r1 timeout_ms=5000",
+            ))
+        })
+    });
+    g.bench_function(
+        BenchmarkId::from_parameter("cached_replay_roundtrip"),
+        |b| {
+            let server = Server::start(ServerConfig::default());
+            let req = run_req("run kernel=fft net=omesh side=2 ops=150 mode=classic-trace id=o");
+            server.submit_blocking(req.clone()); // prime the cache
+            b.iter(|| black_box(server.submit_blocking(req.clone())))
+        },
+    );
+    g.finish();
+}
+
+criterion_group! {
+    name = benches;
+    config = Criterion::default().sample_size(10);
+    targets = bench_sweep, bench_overhead
+}
+criterion_main!(benches);

@@ -26,7 +26,7 @@
 //! `trace.json` and as a `series` section in the manifest.
 
 use sctm_bench::{num_threads, run_experiment, Scale, EXPERIMENT_IDS};
-use sctm_core::{Experiment, Mode, NetworkKind, SystemConfig};
+use sctm_core::{Experiment, NetworkKind, RunSpec, SystemConfig};
 use sctm_obs as obs;
 use sctm_prof as prof;
 use sctm_workloads::Kernel;
@@ -120,8 +120,12 @@ fn main() {
             let exp = Experiment::new(SystemConfig::new(scale.side(), kind), Kernel::Fft)
                 .with_ops(scale.ops().min(400));
             let log = exp.capture();
-            let (_, profile) =
-                exp.run_with_trace_profiled(&log, Mode::SelfCorrection { max_iters: 1 });
+            let spec = RunSpec::self_correction(1).replay_only().profiled();
+            let profile = exp
+                .execute_seeded(&spec, Some(&log))
+                .expect("valid spec")
+                .profile
+                .expect("profiled run returns artefacts");
             let blame = prof::analyze(kind.label(), "fft", &profile.log, &profile.lifecycles);
             profiles.push((blame, profile.series));
         }

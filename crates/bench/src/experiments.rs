@@ -1,7 +1,8 @@
 //! The nine reconstructed experiments (DESIGN.md §4).
 
 use crate::{par_map, Scale};
-use sctm_core::{accuracy, Experiment, Mode, NetworkKind, RunReport, SystemConfig};
+use sctm_core::trace::TraceLog;
+use sctm_core::{accuracy, Experiment, NetworkKind, RunReport, RunSpec, SystemConfig};
 use sctm_engine::net::AnalyticNetwork;
 use sctm_engine::table::{fnum, Table};
 use sctm_engine::time::SimTime;
@@ -13,6 +14,29 @@ use sctm_workloads::Kernel;
 
 fn ms(d: std::time::Duration) -> String {
     format!("{:.1}", d.as_secs_f64() * 1e3)
+}
+
+fn go(e: &Experiment, spec: &RunSpec) -> RunReport {
+    e.execute(spec).expect("valid spec").report
+}
+
+/// Replay `log` once in the given mode; with `wall0`, fold the shared
+/// capture's wall time into the report (the old `run_with_trace`
+/// contract the tables were written against).
+fn replay(
+    e: &Experiment,
+    log: &TraceLog,
+    spec: RunSpec,
+    wall0: Option<std::time::Instant>,
+) -> RunReport {
+    let mut r = e
+        .execute_seeded(&spec.replay_only(), Some(log))
+        .expect("valid spec")
+        .report;
+    if let Some(w) = wall0 {
+        r.wall = w.elapsed();
+    }
+    r
 }
 
 fn flagship(scale: Scale, kind: NetworkKind) -> Experiment {
@@ -35,7 +59,7 @@ pub fn e2_case_study(scale: Scale) -> Table {
     let mut results = par_map::<(&'static str, RunReport), _>(vec![
         {
             let e = omesh.clone();
-            Box::new(move || ("exec-driven (reference)", e.run(Mode::ExecutionDriven)))
+            Box::new(move || ("exec-driven (reference)", go(&e, &RunSpec::exec_driven())))
                 as Box<dyn FnOnce() -> (&'static str, RunReport) + Send>
         },
         {
@@ -43,7 +67,7 @@ pub fn e2_case_study(scale: Scale) -> Table {
             Box::new(move || {
                 (
                     "self-correction trace",
-                    e.run(Mode::SelfCorrection { max_iters: 4 }),
+                    go(&e, &RunSpec::self_correction(4)),
                 )
             })
         },
@@ -52,7 +76,7 @@ pub fn e2_case_study(scale: Scale) -> Table {
             Box::new(move || {
                 let wall0 = std::time::Instant::now();
                 let log = e.capture();
-                let classic = e.run_with_trace(&log, Mode::ClassicTrace, Some(wall0));
+                let classic = replay(&e, &log, RunSpec::classic(), Some(wall0));
                 ("classic trace", classic)
             })
         },
@@ -63,7 +87,7 @@ pub fn e2_case_study(scale: Scale) -> Table {
                 let log = e.capture();
                 (
                     "oracle trace",
-                    e.run_with_trace(&log, Mode::OracleTrace, Some(wall0)),
+                    replay(&e, &log, RunSpec::oracle(), Some(wall0)),
                 )
             })
         },
@@ -72,7 +96,7 @@ pub fn e2_case_study(scale: Scale) -> Table {
             Box::new(move || {
                 (
                     "baseline NoC simulator (emesh)",
-                    e.run(Mode::ExecutionDriven),
+                    go(&e, &RunSpec::exec_driven()),
                 )
             })
         },
@@ -122,11 +146,11 @@ pub fn e3_accuracy_per_application(scale: Scale) -> Table {
             jobs.push(Box::new(move || {
                 let e = Experiment::new(SystemConfig::new(scale.side(), kind), kernel)
                     .with_ops(scale.ops());
-                let reference = e.run(Mode::ExecutionDriven);
+                let reference = go(&e, &RunSpec::exec_driven());
                 let log = e.capture();
-                let classic = e.run_with_trace(&log, Mode::ClassicTrace, None);
-                let oracle = e.run_with_trace(&log, Mode::OracleTrace, None);
-                let sctm = e.run(Mode::SelfCorrection { max_iters: 4 });
+                let classic = replay(&e, &log, RunSpec::classic(), None);
+                let oracle = replay(&e, &log, RunSpec::oracle(), None);
+                let sctm = go(&e, &RunSpec::self_correction(4));
                 let iters = sctm.iterations.as_ref().map(|v| v.len()).unwrap_or(0);
                 vec![
                     kernel.label().to_string(),
@@ -175,8 +199,8 @@ pub fn e4_convergence(scale: Scale) -> Table {
             .map(|kind| {
                 Box::new(move || {
                     let e = flagship(scale, kind);
-                    let reference = e.run(Mode::ExecutionDriven);
-                    let sctm = e.run(Mode::SelfCorrection { max_iters: 6 });
+                    let reference = go(&e, &RunSpec::exec_driven());
+                    let sctm = go(&e, &RunSpec::self_correction(6));
                     sctm.iterations
                         .as_ref()
                         .unwrap()
@@ -219,11 +243,11 @@ pub fn e5_simulation_time_scaling(scale: Scale) -> Table {
             jobs.push(Box::new(move || {
                 let ops = scale.ops();
                 let e = Experiment::new(SystemConfig::new(side, kind), Kernel::Fft).with_ops(ops);
-                let exec = e.run(Mode::ExecutionDriven);
-                let sctm = e.run(Mode::SelfCorrection { max_iters: 3 });
+                let exec = go(&e, &RunSpec::exec_driven());
+                let sctm = go(&e, &RunSpec::self_correction(3));
                 let wall0 = std::time::Instant::now();
                 let log = e.capture();
-                let classic = e.run_with_trace(&log, Mode::ClassicTrace, Some(wall0));
+                let classic = replay(&e, &log, RunSpec::classic(), Some(wall0));
                 vec![
                     format!("{}", side * side),
                     kind.label().to_string(),
@@ -366,7 +390,7 @@ pub fn e8_capture_model_sensitivity(scale: Scale) -> Table {
     };
     let side = scale.side();
     let e = flagship(scale, NetworkKind::Omesh);
-    let reference = e.run(Mode::ExecutionDriven);
+    let reference = go(&e, &RunSpec::exec_driven());
     let mut jobs: Vec<Box<dyn FnOnce() -> Vec<String> + Send>> = Vec::new();
     for &f in factors {
         let e = e.clone();
@@ -380,8 +404,8 @@ pub fn e8_capture_model_sensitivity(scale: Scale) -> Table {
                 (60.0 * f) as u64,
             );
             let log = e.capture_on(model);
-            let classic = e.run_with_trace(&log, Mode::ClassicTrace, None);
-            let pass = e.run_with_trace(&log, Mode::SelfCorrection { max_iters: 1 }, None);
+            let classic = replay(&e, &log, RunSpec::classic(), None);
+            let pass = replay(&e, &log, RunSpec::self_correction(1), None);
             vec![
                 format!("{f}x"),
                 fnum(accuracy(&classic, &reference).exec_time_err_pct),
@@ -411,16 +435,14 @@ pub fn e9_online_correction(scale: Scale) -> Table {
         Scale::Full => &[1, 2, 5, 10, 20],
     };
     let e = flagship(scale, NetworkKind::Omesh);
-    let reference = e.run(Mode::ExecutionDriven);
-    let offline = e.run(Mode::SelfCorrection { max_iters: 4 });
+    let reference = go(&e, &RunSpec::exec_driven());
+    let offline = go(&e, &RunSpec::self_correction(4));
     let mut jobs: Vec<Box<dyn FnOnce() -> Vec<String> + Send>> = Vec::new();
     for &us in epochs_us {
         let e = e.clone();
         let reference = reference.clone();
         jobs.push(Box::new(move || {
-            let r = e.run(Mode::Online {
-                epoch: SimTime::from_us(us),
-            });
+            let r = go(&e, &RunSpec::online(SimTime::from_us(us)));
             vec![
                 format!("online, {us} us epochs"),
                 fnum(accuracy(&r, &reference).exec_time_err_pct),
@@ -617,7 +639,7 @@ pub fn a1_ablation(scale: Scale) -> Table {
     ];
     let mut jobs: Vec<Box<dyn FnOnce() -> Vec<String> + Send>> = Vec::new();
     for kind in [NetworkKind::Omesh, NetworkKind::Oxbar] {
-        let reference = flagship(scale, kind).run(Mode::ExecutionDriven);
+        let reference = go(&flagship(scale, kind), &RunSpec::exec_driven());
         for (name, opts) in variants {
             let reference = reference.clone();
             jobs.push(Box::new(move || {

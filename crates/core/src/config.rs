@@ -1,5 +1,6 @@
 //! System configuration: the simulated machine and its interconnect.
 
+use crate::error::SctmError;
 use sctm_cmp::CmpConfig;
 use sctm_engine::net::{AnalyticNetwork, NetworkModel};
 use sctm_engine::table::Table;
@@ -47,6 +48,21 @@ impl NetworkKind {
             NetworkKind::Analytic => "analytic",
         }
     }
+
+    /// Look an interconnect up by its [`NetworkKind::label`]. The typed
+    /// front door for services and CLIs that receive network names as
+    /// strings.
+    pub fn from_label(label: &str) -> Result<NetworkKind, SctmError> {
+        match label {
+            "emesh" => Ok(NetworkKind::Emesh),
+            "omesh" => Ok(NetworkKind::Omesh),
+            "oxbar" => Ok(NetworkKind::Oxbar),
+            "hybrid" => Ok(NetworkKind::Hybrid),
+            "obus" => Ok(NetworkKind::Obus),
+            "analytic" => Ok(NetworkKind::Analytic),
+            other => Err(SctmError::UnknownNetwork(other.to_string())),
+        }
+    }
 }
 
 /// The simulated system: a tiled CMP plus one interconnect choice.
@@ -59,13 +75,45 @@ pub struct SystemConfig {
 }
 
 impl SystemConfig {
+    /// Largest supported mesh side (64² = 4096 cores). Beyond this the
+    /// dense per-pair correction tables and renumbering buffers stop
+    /// being a sensible memory trade.
+    pub const MAX_SIDE: usize = 64;
+
     /// The default 2012-class configuration at `side × side` cores.
+    ///
+    /// Panics outside the simulable envelope; long-running callers that
+    /// handle untrusted sizes should use [`SystemConfig::try_new`].
     pub fn new(side: usize, network: NetworkKind) -> Self {
-        SystemConfig {
+        Self::try_new(side, network).expect("invalid system config")
+    }
+
+    /// [`SystemConfig::new`] with the envelope checks surfaced as a
+    /// typed error instead of a panic: a service can reject one bad
+    /// request and keep serving the rest.
+    pub fn try_new(side: usize, network: NetworkKind) -> Result<Self, SctmError> {
+        if side == 0 {
+            return Err(SctmError::InvalidConfig("mesh side must be >= 1".into()));
+        }
+        if side > Self::MAX_SIDE {
+            return Err(SctmError::InvalidConfig(format!(
+                "mesh side {side} exceeds the simulable envelope (max {})",
+                Self::MAX_SIDE
+            )));
+        }
+        // Every workload kernel partitions over power-of-two core
+        // counts; side² is a power of two iff side is.
+        if !side.is_power_of_two() {
+            return Err(SctmError::InvalidConfig(format!(
+                "mesh side {side} gives {} cores; kernels need a power-of-two core count",
+                side * side
+            )));
+        }
+        Ok(SystemConfig {
             side,
             cmp: CmpConfig::tiled(side),
             network,
-        }
+        })
     }
 
     pub fn cores(&self) -> usize {
@@ -193,6 +241,37 @@ mod tests {
             assert_eq!(net.num_nodes(), 16, "{}", kind.label());
             assert_eq!(net.label(), kind.label());
         }
+    }
+
+    #[test]
+    fn labels_roundtrip_and_unknown_is_typed() {
+        for kind in [
+            NetworkKind::Emesh,
+            NetworkKind::Omesh,
+            NetworkKind::Oxbar,
+            NetworkKind::Hybrid,
+            NetworkKind::Obus,
+            NetworkKind::Analytic,
+        ] {
+            assert_eq!(NetworkKind::from_label(kind.label()), Ok(kind));
+        }
+        assert_eq!(
+            NetworkKind::from_label("warp"),
+            Err(SctmError::UnknownNetwork("warp".into()))
+        );
+    }
+
+    #[test]
+    fn try_new_rejects_sizes_outside_the_envelope() {
+        for bad in [0, 3, 5, 6, SystemConfig::MAX_SIDE + 1, usize::MAX / 2] {
+            let err = SystemConfig::try_new(bad, NetworkKind::Omesh).unwrap_err();
+            assert!(
+                matches!(err, SctmError::InvalidConfig(_)),
+                "side {bad}: {err}"
+            );
+        }
+        assert!(SystemConfig::try_new(1, NetworkKind::Emesh).is_ok());
+        assert!(SystemConfig::try_new(SystemConfig::MAX_SIDE, NetworkKind::Emesh).is_ok());
     }
 
     #[test]

@@ -5,7 +5,7 @@
 //! ([`Experiment`]), and run it in any [`Mode`]:
 //!
 //! ```
-//! use sctm_core::{Experiment, Mode, NetworkKind, SystemConfig};
+//! use sctm_core::{Experiment, NetworkKind, RunSpec, SystemConfig};
 //! use sctm_workloads::Kernel;
 //!
 //! // 16-core CMP on the circuit-switched photonic mesh.
@@ -13,9 +13,9 @@
 //! let exp = Experiment::new(system, Kernel::Fft).with_ops(300);
 //!
 //! // The slow, accurate reference…
-//! let reference = exp.run(Mode::ExecutionDriven);
+//! let reference = exp.execute(&RunSpec::exec_driven()).unwrap().report;
 //! // …and the paper's fast self-correcting trace model.
-//! let estimate = exp.run(Mode::SelfCorrection { max_iters: 5 });
+//! let estimate = exp.execute(&RunSpec::self_correction(5)).unwrap().report;
 //!
 //! let acc = sctm_core::accuracy(&estimate, &reference);
 //! assert!(acc.exec_time_err_pct < 15.0);
@@ -29,12 +29,27 @@
 //! trace engines (`sctm_trace`).
 
 pub mod config;
+pub mod error;
 pub mod metrics;
 pub mod modes;
+pub mod spec;
 
 pub use config::{NetworkKind, SystemConfig};
+pub use error::SctmError;
 pub use metrics::{accuracy, Accuracy, RunReport};
 pub use modes::{Experiment, Mode, ProfileCapture};
+pub use spec::{RunOutcome, RunSpec};
+
+/// Look a workload kernel up by its [`sctm_workloads::Kernel::label`]
+/// (`"fft"`, `"lu"`, ...). The typed front door for services and CLIs
+/// that receive kernel names as strings.
+pub fn kernel_from_label(label: &str) -> Result<sctm_workloads::Kernel, SctmError> {
+    sctm_workloads::Kernel::ALL
+        .iter()
+        .copied()
+        .find(|k| k.label() == label)
+        .ok_or_else(|| SctmError::UnknownKernel(label.to_string()))
+}
 
 // Component-crate re-exports for downstream users.
 pub use sctm_cmp as cmp;

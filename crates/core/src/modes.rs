@@ -7,7 +7,9 @@
 //! for users who need more control.
 
 use crate::config::SystemConfig;
+use crate::error::SctmError;
 use crate::metrics::{IterStats, RunReport};
+use crate::spec::{RunOutcome, RunSpec};
 use sctm_cmp::{CmpSim, NullHook};
 use sctm_engine::net::{AnalyticNetwork, MsgClass, MsgLifecycle, NetworkModel, NodeId};
 use sctm_engine::time::SimTime;
@@ -207,25 +209,198 @@ impl Experiment {
         Capture::merge(hooks).finish("analytic", res.exec_time)
     }
 
-    /// Run in the given mode. Trace modes capture internally; use
-    /// [`Experiment::run_with_trace`] to amortise one capture across
-    /// modes (what the bench harness does).
-    pub fn run(&self, mode: Mode) -> RunReport {
-        match mode {
-            Mode::ExecutionDriven => self.run_execution_driven(),
-            Mode::Online { epoch } => self.run_online(epoch),
-            Mode::SelfCorrection { max_iters } => self.run_self_correction(max_iters),
-            _ => {
-                let wall0 = Instant::now();
-                let log = self.capture();
-                self.run_with_trace(&log, mode, Some(wall0))
-            }
+    /// A copy of this experiment with the spec's per-run knob overrides
+    /// applied (`None` fields inherit; spec validation has already
+    /// range-checked the `Some` ones).
+    fn with_spec_overrides(&self, spec: &RunSpec) -> Experiment {
+        let mut e = self.clone();
+        if let Some(a) = spec.damping {
+            e.damping = a;
         }
+        if let Some(eps) = spec.factor_epsilon {
+            e.factor_epsilon = eps;
+        }
+        e
+    }
+
+    /// Run one simulation request. This is the single entry point the
+    /// examples, the bench harness and the `sctmd` batch service all
+    /// use; the old `run_*` fan remains as deprecated wrappers around
+    /// it. The spec is validated up front, so a malformed request
+    /// surfaces as a typed [`SctmError`] instead of a panic.
+    pub fn execute(&self, spec: &RunSpec) -> Result<RunOutcome, SctmError> {
+        self.execute_seeded(spec, None)
+    }
+
+    /// [`Experiment::execute`] with an optional pre-captured trace.
+    ///
+    /// Trace modes normally capture internally; passing `seed` replaces
+    /// that capture with an existing trace of *this same experiment*
+    /// (same kernel, system size, ops, seed — the caller's contract,
+    /// which the `sctmd` capture cache keys on). Because an uncorrected
+    /// capture is deterministic, a seeded run is byte-identical to an
+    /// unseeded one; it just skips the most expensive phase. For the
+    /// full self-correction loop the seed stands in for iteration 1's
+    /// capture only — later iterations re-capture on the corrected
+    /// model by design.
+    pub fn execute_seeded(
+        &self,
+        spec: &RunSpec,
+        seed: Option<&TraceLog>,
+    ) -> Result<RunOutcome, SctmError> {
+        spec.validate()?;
+        let traceless = matches!(spec.mode, Mode::ExecutionDriven | Mode::Online { .. });
+        if seed.is_some() && traceless {
+            return Err(SctmError::InvalidSpec(format!(
+                "a seed trace is meaningless for {}",
+                spec.mode.label()
+            )));
+        }
+        let exp = self.with_spec_overrides(spec);
+        let wall0 = Instant::now();
+        let mut profile_log: Option<TraceLog> = None;
+        let mut report = match spec.mode {
+            Mode::ExecutionDriven => exp.exec_driven_report(),
+            Mode::Online { epoch } => exp.online_report(epoch),
+            Mode::SelfCorrection { max_iters } if !spec.replay_only => {
+                let r = exp.self_correction_report(max_iters, seed);
+                if spec.profile {
+                    // The loop consumed its traces; profile on a fresh
+                    // (equivalent) uncorrected capture, exactly as the
+                    // old profiled entry point did.
+                    profile_log = Some(match seed {
+                        Some(l) => l.clone(),
+                        None => exp.capture(),
+                    });
+                }
+                r
+            }
+            mode => {
+                let owned;
+                let log = match seed {
+                    Some(l) => l,
+                    None => {
+                        owned = exp.capture();
+                        &owned
+                    }
+                };
+                let r = exp.replay_report(log, mode);
+                if spec.profile {
+                    profile_log = Some(log.clone());
+                }
+                r
+            }
+        };
+        report.wall = wall0.elapsed();
+        let profile = profile_log.map(|l| exp.profile_replay(&l, spec.mode));
+        Ok(RunOutcome { report, profile })
+    }
+
+    /// Run in the given mode. Trace modes capture internally.
+    #[deprecated(since = "0.1.0", note = "use Experiment::execute(&RunSpec::new(mode))")]
+    pub fn run(&self, mode: Mode) -> RunReport {
+        self.execute(&RunSpec::new(mode))
+            .expect("invalid mode parameters")
+            .report
+    }
+
+    /// The full self-correction loop.
+    #[deprecated(
+        since = "0.1.0",
+        note = "use Experiment::execute(&RunSpec::self_correction(max_iters))"
+    )]
+    pub fn run_self_correction(&self, max_iters: usize) -> RunReport {
+        self.execute(&RunSpec::self_correction(max_iters))
+            .expect("invalid iteration cap")
+            .report
+    }
+
+    /// The full self-correction loop plus profiling artefacts.
+    #[deprecated(
+        since = "0.1.0",
+        note = "use Experiment::execute(&RunSpec::self_correction(max_iters).profiled())"
+    )]
+    pub fn run_self_correction_profiled(&self, max_iters: usize) -> (RunReport, ProfileCapture) {
+        let out = self
+            .execute(&RunSpec::self_correction(max_iters).profiled())
+            .expect("invalid iteration cap");
+        (
+            out.report,
+            out.profile.expect("profiled run yields a profile"),
+        )
+    }
+
+    /// Replay a previously captured trace in a trace mode, with
+    /// profiling artefacts.
+    #[deprecated(
+        since = "0.1.0",
+        note = "use Experiment::execute_seeded(&RunSpec::new(mode).replay_only().profiled(), Some(log))"
+    )]
+    pub fn run_with_trace_profiled(
+        &self,
+        log: &TraceLog,
+        mode: Mode,
+    ) -> (RunReport, ProfileCapture) {
+        let out = self
+            .execute_seeded(&RunSpec::new(mode).replay_only().profiled(), Some(log))
+            .expect("run_with_trace_profiled needs a trace mode");
+        (
+            out.report,
+            out.profile.expect("profiled run yields a profile"),
+        )
+    }
+
+    /// Execution-driven co-simulation on the configured network.
+    #[deprecated(
+        since = "0.1.0",
+        note = "use Experiment::execute(&RunSpec::exec_driven())"
+    )]
+    pub fn run_execution_driven(&self) -> RunReport {
+        self.execute(&RunSpec::exec_driven())
+            .expect("exec-driven specs are always valid")
+            .report
+    }
+
+    /// Replay a previously captured trace in a trace mode (for
+    /// [`Mode::SelfCorrection`], a *single* self-correcting pass).
+    /// `wall_start`, when given, folds the capture cost into the
+    /// reported wall time.
+    #[deprecated(
+        since = "0.1.0",
+        note = "use Experiment::execute_seeded(&RunSpec::new(mode).replay_only(), Some(log))"
+    )]
+    pub fn run_with_trace(
+        &self,
+        log: &TraceLog,
+        mode: Mode,
+        wall_start: Option<Instant>,
+    ) -> RunReport {
+        let mut report = self
+            .execute_seeded(&RunSpec::new(mode).replay_only(), Some(log))
+            .expect("run_with_trace needs a trace mode")
+            .report;
+        if let Some(wall0) = wall_start {
+            report.wall = wall0.elapsed();
+        }
+        report
+    }
+
+    /// Execution-driven on the online-corrected analytic model.
+    #[deprecated(
+        since = "0.1.0",
+        note = "use Experiment::execute(&RunSpec::online(epoch))"
+    )]
+    pub fn run_online(&self, epoch: SimTime) -> RunReport {
+        self.execute(&RunSpec::online(epoch))
+            .expect("invalid epoch")
+            .report
     }
 
     /// The full self-correction loop (the paper's simulation flow):
     ///
-    /// 1. capture the workload on the cheap analytic model;
+    /// 1. capture the workload on the cheap analytic model (iteration 1
+    ///    may substitute a pre-captured `seed` trace — an uncorrected
+    ///    capture is deterministic, so the result is identical);
     /// 2. replay the trace through the detailed target network with the
     ///    self-correcting gated pass;
     /// 3. derive per-(src,dst) latency correction factors from the
@@ -233,8 +408,7 @@ impl Experiment {
     /// 4. re-capture (the full-system run now sees target-like
     ///    latencies, so message timing *and interleaving* adjust) and
     ///    repeat until the execution-time estimate stabilises.
-    pub fn run_self_correction(&self, max_iters: usize) -> RunReport {
-        assert!(max_iters >= 1);
+    fn self_correction_report(&self, max_iters: usize, seed: Option<&TraceLog>) -> RunReport {
         let wall0 = Instant::now();
         let side = self.system.side;
         let kind = self.system.network;
@@ -249,7 +423,12 @@ impl Experiment {
         for it in 1..=max_iters {
             let _iter_span = obs::span("sctm", "iteration");
             let iter_wall = Instant::now();
-            let log = self.capture_on(model.clone());
+            // Iteration 1 runs on the uncorrected model, so a cached
+            // capture of this experiment substitutes exactly.
+            let log = match seed {
+                Some(s) if it == 1 => s.clone(),
+                _ => self.capture_on(model.clone()),
+            };
             if it == 1 {
                 prev_est = log.capture_exec_time;
             }
@@ -347,35 +526,6 @@ impl Experiment {
         }
     }
 
-    /// Run the full self-correction loop, then re-run the converged
-    /// trace once more through an instrumented target network —
-    /// lifecycle capture on, wrapped in a [`obs::SampledNetwork`] — and
-    /// return the profiling artefacts next to the report. The extra
-    /// pass is deterministic, so the blame totals it yields describe
-    /// exactly the replay the report's numbers came from.
-    pub fn run_self_correction_profiled(&self, max_iters: usize) -> (RunReport, ProfileCapture) {
-        let report = self.run_self_correction(max_iters);
-        // Re-capture on the *converged* corrected model would require
-        // threading the model out of the loop; the final iteration's
-        // trace is equivalent for profiling purposes because the loop
-        // exits only when consecutive captures agree to < 0.5%.
-        let log = self.capture();
-        let profile = self.profile_replay(&log, Mode::SelfCorrection { max_iters });
-        (report, profile)
-    }
-
-    /// Replay `log` in the given trace mode on an instrumented target
-    /// network and return the captured profile.
-    pub fn run_with_trace_profiled(
-        &self,
-        log: &TraceLog,
-        mode: Mode,
-    ) -> (RunReport, ProfileCapture) {
-        let report = self.run_with_trace(log, mode, None);
-        let profile = self.profile_replay(log, mode);
-        (report, profile)
-    }
-
     /// The instrumented replay shared by the profiled entry points:
     /// lifecycle capture enabled on the detailed network, the whole
     /// thing wrapped in a sampling decorator for time-series gauges.
@@ -410,7 +560,7 @@ impl Experiment {
     }
 
     /// Execution-driven co-simulation on the configured network.
-    pub fn run_execution_driven(&self) -> RunReport {
+    fn exec_driven_report(&self) -> RunReport {
         let wall0 = Instant::now();
         let mut sim = CmpSim::new(
             self.system.cmp.clone(),
@@ -438,16 +588,9 @@ impl Experiment {
     /// Replay a previously captured trace in a trace mode (for
     /// [`Mode::SelfCorrection`], this is a *single* self-correcting
     /// pass on the given trace — the full loop with re-capture is
-    /// [`Experiment::run_self_correction`]).
-    /// `wall_start`, when given, folds the capture cost into the
-    /// reported wall time (the honest end-to-end cost of the mode).
-    pub fn run_with_trace(
-        &self,
-        log: &TraceLog,
-        mode: Mode,
-        wall_start: Option<Instant>,
-    ) -> RunReport {
-        let wall0 = wall_start.unwrap_or_else(Instant::now);
+    /// the non-`replay_only` path of [`Experiment::execute`]).
+    fn replay_report(&self, log: &TraceLog, mode: Mode) -> RunReport {
+        let wall0 = Instant::now();
         let side = self.system.side;
         let kind = self.system.network;
         let mut net = SystemConfig::make_network_kind(side, kind);
@@ -478,7 +621,7 @@ impl Experiment {
 
     /// Execution-driven on the online-corrected analytic model (shadow
     /// = the configured detailed network).
-    pub fn run_online(&self, epoch: SimTime) -> RunReport {
+    fn online_report(&self, epoch: SimTime) -> RunReport {
         let wall0 = Instant::now();
         let analytic = SystemConfig::analytic(self.system.cores());
         let side = self.system.side;
@@ -516,10 +659,14 @@ mod tests {
         Experiment::new(SystemConfig::new(4, kind), Kernel::Fft).with_ops(300)
     }
 
+    fn go(e: &Experiment, spec: &RunSpec) -> RunReport {
+        e.execute(spec).unwrap().report
+    }
+
     #[test]
     fn execution_driven_runs_on_all_networks() {
         for kind in NetworkKind::DETAILED {
-            let r = exp(kind).run(Mode::ExecutionDriven);
+            let r = go(&exp(kind), &RunSpec::exec_driven());
             assert!(r.exec_time > SimTime::ZERO, "{}", kind.label());
             assert!(r.messages > 0);
             assert_eq!(r.network, kind.label());
@@ -529,10 +676,13 @@ mod tests {
     #[test]
     fn trace_modes_run_and_sctm_beats_classic_on_omesh() {
         let e = exp(NetworkKind::Omesh);
-        let reference = e.run(Mode::ExecutionDriven);
+        let reference = go(&e, &RunSpec::exec_driven());
         let log = e.capture();
-        let classic = e.run_with_trace(&log, Mode::ClassicTrace, None);
-        let sctm = e.run(Mode::SelfCorrection { max_iters: 4 });
+        let classic = e
+            .execute_seeded(&RunSpec::classic().replay_only(), Some(&log))
+            .unwrap()
+            .report;
+        let sctm = go(&e, &RunSpec::self_correction(4));
         let acc_classic = accuracy(&classic, &reference);
         let acc_sctm = accuracy(&sctm, &reference);
         assert!(
@@ -553,7 +703,7 @@ mod tests {
     #[test]
     fn self_correction_converges() {
         let e = exp(NetworkKind::Omesh);
-        let r = e.run(Mode::SelfCorrection { max_iters: 6 });
+        let r = go(&e, &RunSpec::self_correction(6));
         let iters = r.iterations.as_ref().unwrap();
         // Drift must shrink substantially from the first iteration.
         let first = iters.first().unwrap().drift.as_ps();
@@ -567,14 +717,8 @@ mod tests {
     #[test]
     fn factor_epsilon_early_exit_never_needs_more_iterations() {
         let e = exp(NetworkKind::Omesh);
-        let strict = e
-            .clone()
-            .with_factor_epsilon(0.0)
-            .run(Mode::SelfCorrection { max_iters: 6 });
-        let loose = e
-            .clone()
-            .with_factor_epsilon(0.5)
-            .run(Mode::SelfCorrection { max_iters: 6 });
+        let strict = go(&e, &RunSpec::self_correction(6).with_factor_epsilon(0.0));
+        let loose = go(&e, &RunSpec::self_correction(6).with_factor_epsilon(0.5));
         let n_strict = strict.iterations.as_ref().unwrap().len();
         let n_loose = loose.iterations.as_ref().unwrap().len();
         assert!(
@@ -585,19 +729,26 @@ mod tests {
 
     #[test]
     fn damping_weight_is_configurable_and_converges() {
-        let e = exp(NetworkKind::Omesh).with_damping(0.7);
-        let r = e.run(Mode::SelfCorrection { max_iters: 6 });
-        assert!(r.exec_time > SimTime::ZERO);
-        assert!(!r.iterations.as_ref().unwrap().is_empty());
+        // The spec-level override must behave exactly like the builder.
+        let e = exp(NetworkKind::Omesh);
+        let via_builder = go(&e.clone().with_damping(0.7), &RunSpec::self_correction(6));
+        let via_spec = go(&e, &RunSpec::self_correction(6).with_damping(0.7));
+        assert!(via_spec.exec_time > SimTime::ZERO);
+        assert_eq!(via_builder.exec_time, via_spec.exec_time);
+        assert_eq!(
+            via_builder.iterations.as_ref().unwrap().len(),
+            via_spec.iterations.as_ref().unwrap().len()
+        );
     }
 
     #[test]
     fn oracle_is_at_least_as_good_as_classic() {
         let e = exp(NetworkKind::Emesh);
-        let reference = e.run(Mode::ExecutionDriven);
+        let reference = go(&e, &RunSpec::exec_driven());
         let log = e.capture();
-        let classic = e.run_with_trace(&log, Mode::ClassicTrace, None);
-        let oracle = e.run_with_trace(&log, Mode::OracleTrace, None);
+        let replay = |spec: RunSpec| e.execute_seeded(&spec, Some(&log)).unwrap().report;
+        let classic = replay(RunSpec::classic().replay_only());
+        let oracle = replay(RunSpec::oracle().replay_only());
         let a_c = accuracy(&classic, &reference).exec_time_err_pct;
         let a_o = accuracy(&oracle, &reference).exec_time_err_pct;
         assert!(a_o <= a_c + 1.0, "oracle {a_o:.1}% vs classic {a_c:.1}%");
@@ -605,9 +756,10 @@ mod tests {
 
     #[test]
     fn online_mode_runs() {
-        let r = exp(NetworkKind::Omesh).run(Mode::Online {
-            epoch: SimTime::from_us(5),
-        });
+        let r = go(
+            &exp(NetworkKind::Omesh),
+            &RunSpec::online(SimTime::from_us(5)),
+        );
         assert!(r.exec_time > SimTime::ZERO);
         assert_eq!(r.mode, "online");
     }
@@ -615,9 +767,81 @@ mod tests {
     #[test]
     fn deterministic_reports() {
         let e = exp(NetworkKind::Emesh);
-        let a = e.run(Mode::ExecutionDriven);
-        let b = e.run(Mode::ExecutionDriven);
+        let a = go(&e, &RunSpec::exec_driven());
+        let b = go(&e, &RunSpec::exec_driven());
         assert_eq!(a.exec_time, b.exec_time);
         assert_eq!(a.messages, b.messages);
+    }
+
+    #[test]
+    fn seeded_execute_is_identical_to_unseeded() {
+        // The capture-cache contract: substituting a pre-captured trace
+        // for the internal capture changes nothing but the wall time.
+        let e = exp(NetworkKind::Omesh);
+        let log = e.capture();
+        for spec in [
+            RunSpec::classic(),
+            RunSpec::oracle(),
+            RunSpec::self_correction(4).replay_only(),
+            RunSpec::self_correction(4),
+        ] {
+            let cold = e.execute(&spec).unwrap().report;
+            let warm = e.execute_seeded(&spec, Some(&log)).unwrap().report;
+            assert_eq!(cold.exec_time, warm.exec_time, "{:?}", spec.mode);
+            assert_eq!(cold.messages, warm.messages);
+            assert_eq!(
+                cold.mean_lat_ctrl_ns.to_bits(),
+                warm.mean_lat_ctrl_ns.to_bits()
+            );
+            assert_eq!(
+                cold.mean_lat_data_ns.to_bits(),
+                warm.mean_lat_data_ns.to_bits()
+            );
+        }
+    }
+
+    #[test]
+    fn seed_is_rejected_for_traceless_modes() {
+        let e = exp(NetworkKind::Omesh);
+        let log = e.capture();
+        for spec in [RunSpec::exec_driven(), RunSpec::online(SimTime::from_us(5))] {
+            let err = e.execute_seeded(&spec, Some(&log)).unwrap_err();
+            assert!(matches!(err, SctmError::InvalidSpec(_)), "{err}");
+        }
+    }
+
+    #[test]
+    fn invalid_specs_surface_as_typed_errors_not_panics() {
+        let e = exp(NetworkKind::Omesh);
+        assert!(matches!(
+            e.execute(&RunSpec::self_correction(0)),
+            Err(SctmError::InvalidSpec(_))
+        ));
+        assert!(matches!(
+            e.execute(&RunSpec::self_correction(2).with_damping(1.5)),
+            Err(SctmError::InvalidSpec(_))
+        ));
+        assert!(matches!(
+            e.execute(&RunSpec::exec_driven().profiled()),
+            Err(SctmError::InvalidSpec(_))
+        ));
+    }
+
+    #[test]
+    #[allow(deprecated)]
+    fn deprecated_wrappers_match_execute() {
+        let e = exp(NetworkKind::Omesh);
+        let old = e.run(Mode::SelfCorrection { max_iters: 3 });
+        let new = go(&e, &RunSpec::self_correction(3));
+        assert_eq!(old.exec_time, new.exec_time);
+        assert_eq!(old.messages, new.messages);
+
+        let log = e.capture();
+        let old = e.run_with_trace(&log, Mode::ClassicTrace, None);
+        let new = e
+            .execute_seeded(&RunSpec::classic().replay_only(), Some(&log))
+            .unwrap()
+            .report;
+        assert_eq!(old.exec_time, new.exec_time);
     }
 }

@@ -12,7 +12,7 @@ use crate::tracer::TraceEvent;
 use std::fmt::Write as _;
 
 /// Escape a string for a JSON string literal (quotes not included).
-fn json_escape(s: &str) -> String {
+pub fn json_escape(s: &str) -> String {
     let mut out = String::with_capacity(s.len());
     for c in s.chars() {
         match c {
@@ -32,7 +32,7 @@ fn json_escape(s: &str) -> String {
 
 /// Format an `f64` as a JSON number. JSON has no NaN/Inf, so those
 /// degrade to `null`; integral values print without a fraction.
-fn json_f64(v: f64) -> String {
+pub fn json_f64(v: f64) -> String {
     if !v.is_finite() {
         return "null".to_owned();
     }
@@ -313,6 +313,20 @@ impl Manifest {
         out.push_str("\n  ]\n}\n");
         out
     }
+
+    /// [`Manifest::to_json`] collapsed onto a single line, for
+    /// line-oriented protocols (`sctmd` answers one manifest per
+    /// request line). Structural newlines and indentation never occur
+    /// inside string literals — [`json_escape`] encodes them — so
+    /// stripping them cannot corrupt the document.
+    pub fn to_json_compact(&self) -> String {
+        let pretty = self.to_json();
+        let mut out = String::with_capacity(pretty.len());
+        for line in pretty.lines() {
+            out.push_str(line.trim_start());
+        }
+        out
+    }
 }
 
 #[cfg(test)]
@@ -487,6 +501,19 @@ mod tests {
         assert!(json.contains(r#""kind": "hist", "count": 3"#));
         assert!(json.contains(r#""network": "omesh""#));
         assert!(json.contains(r#""drift_ps": 50"#));
+    }
+
+    #[test]
+    fn compact_manifest_is_one_line_and_structurally_valid() {
+        let mut m = Manifest::new();
+        m.config("note", "multi\nline \"quoted\"").config("seed", 7);
+        m.phase("e1", 1.25);
+        m.metrics.counter_add("srv.cache.hits", 3);
+        let compact = m.to_json_compact();
+        check_json(&compact);
+        assert!(!compact.contains('\n'), "compact manifest spans lines");
+        assert!(compact.contains(r#""note": "multi\nline \"quoted\"""#));
+        assert!(compact.contains(r#""srv.cache.hits""#));
     }
 
     #[test]

@@ -24,7 +24,9 @@ mod registry;
 mod series;
 mod tracer;
 
-pub use export::{chrome_trace_json, chrome_trace_with_series, Manifest, PhaseWall};
+pub use export::{
+    chrome_trace_json, chrome_trace_with_series, json_escape, json_f64, Manifest, PhaseWall,
+};
 pub use registry::{
     global_snapshot, iterations_snapshot, publish_network, record_iteration, reset_global,
     reset_iterations, with_global, IterTelemetry, MetricValue, MetricsRegistry,

@@ -1,0 +1,74 @@
+//! `sctmd` — the SCTM batch simulation daemon.
+//!
+//! ```text
+//! sctmd --stdin                      # serve requests from stdin (CI mode)
+//! sctmd --listen 127.0.0.1:4710     # serve the line protocol over TCP
+//! sctmd --stdin --cache-mb 64 --queue 32 --timeout-ms 10000
+//! ```
+//!
+//! One request per line, one JSON response line per request; see
+//! `DESIGN.md` §10 and the README quickstart for the protocol.
+
+use sctm_srv::{serve_lines, serve_tcp, Server, ServerConfig};
+
+fn usage() -> ! {
+    eprintln!("usage: sctmd (--stdin | --listen ADDR) [--cache-mb N] [--queue N] [--timeout-ms N]");
+    std::process::exit(2);
+}
+
+fn main() {
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    let mut stdin_mode = false;
+    let mut listen: Option<String> = None;
+    let mut cfg = ServerConfig::default();
+
+    let mut i = 0;
+    let num = |args: &[String], i: &mut usize| -> u64 {
+        *i += 1;
+        args.get(*i)
+            .and_then(|v| v.parse().ok())
+            .unwrap_or_else(|| usage())
+    };
+    while i < args.len() {
+        match args[i].as_str() {
+            "--stdin" => stdin_mode = true,
+            "--listen" => {
+                i += 1;
+                listen = Some(args.get(i).cloned().unwrap_or_else(|| usage()));
+            }
+            "--cache-mb" => cfg.cache_bytes = (num(&args, &mut i) as usize) << 20,
+            "--queue" => cfg.queue_cap = num(&args, &mut i) as usize,
+            "--timeout-ms" => cfg.default_timeout_ms = num(&args, &mut i),
+            _ => usage(),
+        }
+        i += 1;
+    }
+    if stdin_mode == listen.is_some() {
+        usage(); // exactly one front-end
+    }
+
+    let server = Server::start(cfg);
+    if stdin_mode {
+        let stdin = std::io::stdin();
+        let mut stdout = std::io::stdout().lock();
+        let res = serve_lines(stdin.lock(), &mut stdout, &server);
+        server.drain();
+        if let Err(e) = res {
+            eprintln!("sctmd: {e}");
+            std::process::exit(1);
+        }
+    } else if let Some(addr) = listen {
+        let listener = match std::net::TcpListener::bind(&addr) {
+            Ok(l) => l,
+            Err(e) => {
+                eprintln!("sctmd: cannot bind {addr}: {e}");
+                std::process::exit(1);
+            }
+        };
+        eprintln!("sctmd: listening on {addr}");
+        if let Err(e) = serve_tcp(listener, server) {
+            eprintln!("sctmd: {e}");
+            std::process::exit(1);
+        }
+    }
+}

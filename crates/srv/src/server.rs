@@ -1,0 +1,417 @@
+//! The batch scheduler and its front-ends.
+//!
+//! One scheduler thread owns the run loop: it drains whatever the
+//! bounded request queue holds, drops requests that outlived their
+//! queue deadline, and runs the rest as one batch on the deterministic
+//! worker pool ([`par_map`]) — the same executor the sweep examples and
+//! the bench harness use, so a batch of N requests is bit-identical to
+//! running them serially. Captures go through the content-addressed
+//! [`CaptureCache`], so a batch sweeping one workload across many
+//! network configs performs a single capture.
+//!
+//! Backpressure is explicit: `submit` on a full queue fails immediately
+//! with a `busy` response carrying `retry_after_ms`, never blocks the
+//! caller, and never grows the queue past its cap. Shutdown is a
+//! graceful drain — everything already queued still runs and answers.
+
+use crate::cache::{CacheStats, CaptureCache, CaptureKey};
+use crate::proto::{
+    self, error_response, ok_response, parse_request, result_json, timeout_response, CacheOutcome,
+    Request, RunRequest,
+};
+use sctm_core::Mode;
+use sctm_engine::par::par_map;
+use sctm_obs::Manifest;
+use std::collections::VecDeque;
+use std::io::{BufRead, Write};
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::{mpsc, Arc, Condvar, Mutex};
+use std::time::{Duration, Instant};
+
+/// Service knobs. All bounds are hard: the queue never exceeds
+/// `queue_cap` and the cache evicts past `cache_bytes`.
+#[derive(Clone, Copy, Debug)]
+pub struct ServerConfig {
+    /// Bounded request queue length; submissions beyond it get `busy`.
+    pub queue_cap: usize,
+    /// Capture cache byte budget (CSV-serialised trace bytes).
+    pub cache_bytes: usize,
+    /// Queue deadline for requests that do not carry `timeout_ms`.
+    pub default_timeout_ms: u64,
+    /// Retry hint attached to `busy` responses.
+    pub retry_after_ms: u64,
+}
+
+impl Default for ServerConfig {
+    fn default() -> Self {
+        ServerConfig {
+            queue_cap: 64,
+            cache_bytes: 256 << 20,
+            default_timeout_ms: 300_000,
+            retry_after_ms: 50,
+        }
+    }
+}
+
+struct Job {
+    req: RunRequest,
+    enqueued: Instant,
+    /// `None` never times out (deadline arithmetic overflowed).
+    deadline: Option<Instant>,
+    reply: mpsc::Sender<String>,
+}
+
+#[derive(Default)]
+struct QueueState {
+    jobs: VecDeque<Job>,
+    draining: bool,
+}
+
+struct Shared {
+    cfg: ServerConfig,
+    cache: CaptureCache,
+    queue: Mutex<QueueState>,
+    jobs_ready: Condvar,
+    completed: AtomicU64,
+    rejected: AtomicU64,
+    timeouts: AtomicU64,
+}
+
+fn lock<T>(m: &Mutex<T>) -> std::sync::MutexGuard<'_, T> {
+    m.lock().unwrap_or_else(std::sync::PoisonError::into_inner)
+}
+
+/// A running batch-simulation service. Dropping it drains gracefully.
+pub struct Server {
+    shared: Arc<Shared>,
+    scheduler: Mutex<Option<std::thread::JoinHandle<()>>>,
+}
+
+impl Server {
+    pub fn start(cfg: ServerConfig) -> Server {
+        let shared = Arc::new(Shared {
+            cache: CaptureCache::new(cfg.cache_bytes),
+            cfg,
+            queue: Mutex::new(QueueState::default()),
+            jobs_ready: Condvar::new(),
+            completed: AtomicU64::new(0),
+            rejected: AtomicU64::new(0),
+            timeouts: AtomicU64::new(0),
+        });
+        let worker = Arc::clone(&shared);
+        let scheduler = std::thread::Builder::new()
+            .name("sctmd-scheduler".into())
+            .spawn(move || scheduler_loop(&worker))
+            .expect("spawn scheduler thread");
+        Server {
+            shared,
+            scheduler: Mutex::new(Some(scheduler)),
+        }
+    }
+
+    pub fn config(&self) -> ServerConfig {
+        self.shared.cfg
+    }
+
+    /// Enqueue a run. Returns the response channel, or the ready-made
+    /// `busy`/`error` line when the queue is full or draining. Never
+    /// blocks.
+    pub fn submit(&self, req: RunRequest) -> Result<mpsc::Receiver<String>, String> {
+        let cfg = self.shared.cfg;
+        let now = Instant::now();
+        let timeout = req.timeout_ms.unwrap_or(cfg.default_timeout_ms);
+        let deadline = now.checked_add(Duration::from_millis(timeout));
+        let mut q = lock(&self.shared.queue);
+        if q.draining {
+            let err = sctm_core::SctmError::InvalidSpec("server is shutting down".into());
+            return Err(error_response(&req.id, &err));
+        }
+        if q.jobs.len() >= cfg.queue_cap {
+            self.shared.rejected.fetch_add(1, Ordering::Relaxed);
+            return Err(proto::busy_response(&req.id, cfg.retry_after_ms));
+        }
+        let (tx, rx) = mpsc::channel();
+        q.jobs.push_back(Job {
+            req,
+            enqueued: now,
+            deadline,
+            reply: tx,
+        });
+        drop(q);
+        self.shared.jobs_ready.notify_all();
+        Ok(rx)
+    }
+
+    /// Submit and wait for the response line.
+    pub fn submit_blocking(&self, req: RunRequest) -> String {
+        match self.submit(req) {
+            Ok(rx) => rx
+                .recv()
+                .unwrap_or_else(|_| r#"{"status":"error","kind":"internal","message":"scheduler dropped the request"}"#.into()),
+            Err(line) => line,
+        }
+    }
+
+    pub fn cache_stats(&self) -> CacheStats {
+        self.shared.cache.stats()
+    }
+
+    pub fn queue_depth(&self) -> usize {
+        lock(&self.shared.queue).jobs.len()
+    }
+
+    /// Service counters as a run manifest in the `sctm-obs` schema.
+    pub fn stats_manifest(&self) -> Manifest {
+        let cs = self.shared.cache.stats();
+        let mut m = Manifest::new();
+        m.config("queue_cap", self.shared.cfg.queue_cap);
+        m.config("cache_budget_bytes", self.shared.cfg.cache_bytes);
+        m.metrics.counter_add("srv.cache.hits", cs.hits);
+        m.metrics.counter_add("srv.cache.misses", cs.misses);
+        m.metrics.counter_add("srv.cache.evictions", cs.evictions);
+        m.metrics.gauge_set("srv.cache.entries", cs.entries as f64);
+        m.metrics.gauge_set("srv.cache.bytes", cs.bytes as f64);
+        m.metrics
+            .gauge_set("srv.queue.depth", self.queue_depth() as f64);
+        m.metrics.counter_add(
+            "srv.completed",
+            self.shared.completed.load(Ordering::Relaxed),
+        );
+        m.metrics
+            .counter_add("srv.rejected", self.shared.rejected.load(Ordering::Relaxed));
+        m.metrics
+            .counter_add("srv.timeouts", self.shared.timeouts.load(Ordering::Relaxed));
+        m
+    }
+
+    /// Graceful drain: refuse new submissions, finish everything
+    /// queued, then stop the scheduler. Idempotent.
+    pub fn drain(&self) {
+        {
+            let mut q = lock(&self.shared.queue);
+            q.draining = true;
+        }
+        self.shared.jobs_ready.notify_all();
+        let handle = lock(&self.scheduler).take();
+        if let Some(h) = handle {
+            let _ = h.join();
+        }
+    }
+}
+
+impl Drop for Server {
+    fn drop(&mut self) {
+        self.drain();
+    }
+}
+
+fn scheduler_loop(shared: &Arc<Shared>) {
+    loop {
+        let batch: Vec<Job> = {
+            let mut q = lock(&shared.queue);
+            while q.jobs.is_empty() && !q.draining {
+                q = shared.jobs_ready.wait(q).unwrap_or_else(|e| e.into_inner());
+            }
+            if q.jobs.is_empty() {
+                return; // draining and empty: done
+            }
+            q.jobs.drain(..).collect()
+        };
+
+        let now = Instant::now();
+        let mut live = Vec::with_capacity(batch.len());
+        for job in batch {
+            match job.deadline {
+                Some(d) if d <= now => {
+                    shared.timeouts.fetch_add(1, Ordering::Relaxed);
+                    let waited = now.duration_since(job.enqueued).as_millis();
+                    let _ = job.reply.send(timeout_response(&job.req.id, waited));
+                }
+                _ => live.push(job),
+            }
+        }
+
+        // The batch runs on the deterministic pool: results land in
+        // input order and are bit-identical to serial execution, so
+        // concurrency never changes an answer.
+        let jobs: Vec<_> = live
+            .into_iter()
+            .map(|job| {
+                let shared = Arc::clone(shared);
+                move || {
+                    let line = run_job(&shared, &job.req);
+                    shared.completed.fetch_add(1, Ordering::Relaxed);
+                    let _ = job.reply.send(line);
+                }
+            })
+            .collect();
+        par_map(jobs);
+    }
+}
+
+/// Execute one request, satisfying trace-mode captures from the cache.
+fn run_job(shared: &Shared, req: &RunRequest) -> String {
+    let wall0 = Instant::now();
+    let e = &req.experiment;
+    let traceless = matches!(req.spec.mode, Mode::ExecutionDriven | Mode::Online { .. });
+    let (outcome, cache) = if traceless {
+        (e.execute(&req.spec), CacheOutcome::Bypass)
+    } else {
+        let key = CaptureKey::new(e.kernel.label(), e.system.side, e.ops_per_core, e.seed);
+        let (log, hit) = shared.cache.get_or_capture(key, || e.capture());
+        let cache = if hit {
+            CacheOutcome::Hit
+        } else {
+            CacheOutcome::Miss
+        };
+        (e.execute_seeded(&req.spec, Some(&log)), cache)
+    };
+    match outcome {
+        Ok(out) => ok_response(
+            &req.id,
+            wall0.elapsed().as_nanos(),
+            cache,
+            &result_json(&out.report, e),
+        ),
+        Err(err) => error_response(&req.id, &err),
+    }
+}
+
+/// A response owed to the client, in request order.
+enum Pending {
+    Ready(String),
+    Waiting(mpsc::Receiver<String>),
+}
+
+fn recv_line(rx: &mpsc::Receiver<String>) -> String {
+    rx.recv().unwrap_or_else(|_| {
+        r#"{"status":"error","kind":"internal","message":"scheduler dropped the request"}"#.into()
+    })
+}
+
+/// Serve newline-delimited requests from `reader`, writing one response
+/// line per request to `writer` **in request order**. Returns `true`
+/// when the stream asked for shutdown.
+///
+/// Run responses are buffered so consecutive `run` lines schedule as
+/// one parallel batch; completed head-of-line responses stream out as
+/// soon as they are ready, and control verbs (`ping`, `stats`,
+/// `shutdown`) flush everything still owed first, so their answers
+/// observe all preceding runs.
+pub fn serve_lines<R: BufRead, W: Write>(
+    reader: R,
+    writer: &mut W,
+    server: &Server,
+) -> std::io::Result<bool> {
+    let mut pending: VecDeque<Pending> = VecDeque::new();
+
+    let flush_all = |pending: &mut VecDeque<Pending>, writer: &mut W| -> std::io::Result<()> {
+        while let Some(p) = pending.pop_front() {
+            let line = match p {
+                Pending::Ready(line) => line,
+                Pending::Waiting(rx) => recv_line(&rx),
+            };
+            writeln!(writer, "{line}")?;
+        }
+        writer.flush()
+    };
+    let flush_ready = |pending: &mut VecDeque<Pending>, writer: &mut W| -> std::io::Result<()> {
+        let mut wrote = false;
+        loop {
+            match pending.front() {
+                Some(Pending::Ready(_)) => {
+                    if let Some(Pending::Ready(line)) = pending.pop_front() {
+                        writeln!(writer, "{line}")?;
+                        wrote = true;
+                    }
+                }
+                Some(Pending::Waiting(rx)) => match rx.try_recv() {
+                    Ok(line) => {
+                        pending.pop_front();
+                        writeln!(writer, "{line}")?;
+                        wrote = true;
+                    }
+                    Err(_) => break,
+                },
+                None => break,
+            }
+        }
+        if wrote {
+            writer.flush()?;
+        }
+        Ok(())
+    };
+
+    for line in reader.lines() {
+        let line = line?;
+        if line.trim().is_empty() {
+            continue;
+        }
+        match parse_request(&line) {
+            Err(err) => pending.push_back(Pending::Ready(error_response("", &err))),
+            Ok(Request::Run(req)) => match server.submit(*req) {
+                Ok(rx) => pending.push_back(Pending::Waiting(rx)),
+                Err(line) => pending.push_back(Pending::Ready(line)),
+            },
+            Ok(Request::Ping) => {
+                flush_all(&mut pending, writer)?;
+                writeln!(writer, r#"{{"status":"ok","pong":true}}"#)?;
+                writer.flush()?;
+            }
+            Ok(Request::Stats) => {
+                flush_all(&mut pending, writer)?;
+                let stats = server.stats_manifest().to_json_compact();
+                writeln!(writer, r#"{{"status":"ok","stats":{stats}}}"#)?;
+                writer.flush()?;
+            }
+            Ok(Request::Shutdown) => {
+                flush_all(&mut pending, writer)?;
+                writeln!(writer, r#"{{"status":"ok","shutting_down":true}}"#)?;
+                writer.flush()?;
+                return Ok(true);
+            }
+        }
+        flush_ready(&mut pending, writer)?;
+    }
+    flush_all(&mut pending, writer)?;
+    Ok(false)
+}
+
+/// Serve the line protocol over TCP until a connection sends
+/// `shutdown`. One thread per connection; the accept loop polls so it
+/// can notice the shutdown flag. Returns after the graceful drain.
+pub fn serve_tcp(listener: std::net::TcpListener, server: Server) -> std::io::Result<()> {
+    use std::sync::atomic::AtomicBool;
+    listener.set_nonblocking(true)?;
+    let server = Arc::new(server);
+    let stop = Arc::new(AtomicBool::new(false));
+    let mut conns: Vec<std::thread::JoinHandle<()>> = Vec::new();
+    while !stop.load(Ordering::SeqCst) {
+        match listener.accept() {
+            Ok((stream, _peer)) => {
+                let server = Arc::clone(&server);
+                let stop = Arc::clone(&stop);
+                conns.push(std::thread::spawn(move || {
+                    stream.set_nonblocking(false).ok();
+                    let Ok(read_half) = stream.try_clone() else {
+                        return;
+                    };
+                    let mut write_half = stream;
+                    let reader = std::io::BufReader::new(read_half);
+                    if let Ok(true) = serve_lines(reader, &mut write_half, &server) {
+                        stop.store(true, Ordering::SeqCst);
+                    }
+                }));
+            }
+            Err(e) if e.kind() == std::io::ErrorKind::WouldBlock => {
+                std::thread::sleep(Duration::from_millis(20));
+            }
+            Err(e) => return Err(e),
+        }
+    }
+    for c in conns {
+        let _ = c.join();
+    }
+    server.drain();
+    Ok(())
+}

@@ -16,8 +16,7 @@
 
 use sctm::engine::table::{fnum, Table};
 use sctm::obs;
-use sctm::workloads::Kernel;
-use sctm::{accuracy, Experiment, Mode, NetworkKind, SystemConfig};
+use sctm::prelude::*;
 
 fn main() {
     obs::init_from_env();
@@ -29,14 +28,15 @@ fn main() {
     let omesh = Experiment::new(SystemConfig::new(side, NetworkKind::Omesh), kernel).with_ops(ops);
     let emesh = Experiment::new(SystemConfig::new(side, NetworkKind::Emesh), kernel).with_ops(ops);
 
+    let go = |e: &Experiment, spec: &RunSpec| e.execute(spec).expect("valid spec").report;
     eprintln!("running the execution-driven ONoC reference...");
-    let reference = omesh.run(Mode::ExecutionDriven);
+    let reference = go(&omesh, &RunSpec::exec_driven());
     eprintln!("running the self-correction trace model...");
-    let sctm = omesh.run(Mode::SelfCorrection { max_iters: 4 });
+    let sctm = go(&omesh, &RunSpec::self_correction(4));
     eprintln!("running the classic trace model...");
-    let classic = omesh.run(Mode::ClassicTrace);
+    let classic = go(&omesh, &RunSpec::classic());
     eprintln!("running the baseline electrical NoC simulator...");
-    let baseline = emesh.run(Mode::ExecutionDriven);
+    let baseline = go(&emesh, &RunSpec::exec_driven());
 
     let mut t = Table::new(
         format!("Case study: {} on {} cores", kernel.label(), side * side),

@@ -9,8 +9,7 @@
 use sctm::engine::par::par_map;
 use sctm::engine::table::{fnum, Table};
 use sctm::onoc::{ObusConfig, OmeshConfig, OxbarConfig};
-use sctm::workloads::Kernel;
-use sctm::{Experiment, Mode, NetworkKind, SystemConfig};
+use sctm::prelude::*;
 
 fn main() {
     let side = 4;
@@ -39,7 +38,9 @@ fn main() {
                 move || {
                     Experiment::new(SystemConfig::new(side, kind), kernel)
                         .with_ops(ops)
-                        .run(Mode::ExecutionDriven)
+                        .execute(&RunSpec::exec_driven())
+                        .expect("valid spec")
+                        .report
                 }
             })
         })

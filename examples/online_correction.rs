@@ -8,23 +8,26 @@
 
 use sctm::engine::table::{fnum, Table};
 use sctm::engine::time::SimTime;
-use sctm::workloads::Kernel;
-use sctm::{accuracy, Experiment, Mode, NetworkKind, SystemConfig};
+use sctm::prelude::*;
 
 fn main() {
     let exp = Experiment::new(SystemConfig::new(4, NetworkKind::Omesh), Kernel::Fft).with_ops(600);
 
     eprintln!("running the execution-driven reference...");
-    let reference = exp.run(Mode::ExecutionDriven);
+    let reference = exp
+        .execute(&RunSpec::exec_driven())
+        .expect("valid spec")
+        .report;
 
     let mut t = Table::new(
         "Online epoch correction: accuracy vs epoch length",
         &["epoch", "exec time", "err %", "wall (ms)"],
     );
     for epoch_us in [1u64, 2, 5, 10, 20] {
-        let r = exp.run(Mode::Online {
-            epoch: SimTime::from_us(epoch_us),
-        });
+        let r = exp
+            .execute(&RunSpec::online(SimTime::from_us(epoch_us)))
+            .expect("valid spec")
+            .report;
         t.row(&[
             format!("{epoch_us} us"),
             r.exec_time.to_string(),

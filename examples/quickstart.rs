@@ -5,8 +5,7 @@
 //! cargo run --release --example quickstart
 //! ```
 
-use sctm::workloads::Kernel;
-use sctm::{accuracy, Experiment, Mode, NetworkKind, SystemConfig};
+use sctm::prelude::*;
 
 fn main() {
     // A 16-core tiled CMP whose interconnect is the circuit-switched
@@ -18,7 +17,7 @@ fn main() {
 
     // 1. The accurate-but-slow reference: full co-simulation of cores,
     //    caches, coherence and the photonic network.
-    let reference = exp.run(Mode::ExecutionDriven);
+    let reference = exp.execute(&RunSpec::exec_driven()).unwrap().report;
     println!(
         "execution-driven: exec={}  data-lat={:.1}ns  wall={:?}",
         reference.exec_time, reference.mean_lat_data_ns, reference.wall
@@ -27,7 +26,7 @@ fn main() {
     // 2. The classic trace model: capture once on a cheap model, replay
     //    timestamps verbatim. Fast, but the timing feedback loop is
     //    gone and the estimate drifts.
-    let classic = exp.run(Mode::ClassicTrace);
+    let classic = exp.execute(&RunSpec::classic()).unwrap().report;
     let acc = accuracy(&classic, &reference);
     println!(
         "classic trace:    exec={}  err={:.1}%  wall={:?}",
@@ -37,7 +36,7 @@ fn main() {
     // 3. The paper's self-correction trace model: the replay corrects
     //    the timeline against the detailed network, and the capture
     //    model corrects itself between iterations.
-    let sctm = exp.run(Mode::SelfCorrection { max_iters: 4 });
+    let sctm = exp.execute(&RunSpec::self_correction(4)).unwrap().report;
     let acc = accuracy(&sctm, &reference);
     println!(
         "self-correction:  exec={}  err={:.1}%  wall={:?}",

@@ -7,9 +7,8 @@
 //! ```
 
 use sctm::engine::table::{fnum, Table};
-use sctm::trace::{replay_sctm_pass, TraceLog};
-use sctm::workloads::Kernel;
-use sctm::{Experiment, NetworkKind, SystemConfig};
+use sctm::prelude::*;
+use sctm::trace::replay_sctm_pass;
 
 fn main() {
     let exp =

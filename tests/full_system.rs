@@ -1,19 +1,22 @@
 //! Cross-crate integration: every workload kernel on every interconnect,
 //! end to end through the public API.
 
-use sctm::workloads::Kernel;
-use sctm::{accuracy, Experiment, Mode, NetworkKind, SystemConfig};
+use sctm::prelude::*;
 use sctm_engine::time::SimTime;
 
 fn exp(kind: NetworkKind, kernel: Kernel) -> Experiment {
     Experiment::new(SystemConfig::new(4, kind), kernel).with_ops(250)
 }
 
+fn go(e: &Experiment, mode: Mode) -> RunReport {
+    e.execute(&RunSpec::new(mode)).expect("valid spec").report
+}
+
 #[test]
 fn every_kernel_runs_on_every_network() {
     for kernel in Kernel::ALL {
         for kind in NetworkKind::DETAILED {
-            let r = exp(kind, kernel).run(Mode::ExecutionDriven);
+            let r = go(&exp(kind, kernel), Mode::ExecutionDriven);
             assert!(
                 r.exec_time > SimTime::from_us(1),
                 "{}/{}: exec time {} too small",
@@ -36,8 +39,8 @@ fn every_kernel_runs_on_every_network() {
 #[test]
 fn execution_is_deterministic_across_repeats() {
     for kind in NetworkKind::DETAILED {
-        let a = exp(kind, Kernel::Canneal).run(Mode::ExecutionDriven);
-        let b = exp(kind, Kernel::Canneal).run(Mode::ExecutionDriven);
+        let a = go(&exp(kind, Kernel::Canneal), Mode::ExecutionDriven);
+        let b = go(&exp(kind, Kernel::Canneal), Mode::ExecutionDriven);
         assert_eq!(a.exec_time, b.exec_time, "{}", kind.label());
         assert_eq!(a.messages, b.messages);
         assert_eq!(a.mean_lat_data_ns, b.mean_lat_data_ns);
@@ -50,8 +53,7 @@ fn network_choice_changes_the_answer() {
     let times: Vec<u64> = NetworkKind::DETAILED
         .iter()
         .map(|&k| {
-            exp(k, Kernel::Fft)
-                .run(Mode::ExecutionDriven)
+            go(&exp(k, Kernel::Fft), Mode::ExecutionDriven)
                 .exec_time
                 .as_ps()
         })
@@ -64,12 +66,14 @@ fn network_choice_changes_the_answer() {
 
 #[test]
 fn seeds_change_stochastic_workloads_but_not_structure() {
-    let a = exp(NetworkKind::Emesh, Kernel::Barnes)
-        .with_seed(1)
-        .run(Mode::ExecutionDriven);
-    let b = exp(NetworkKind::Emesh, Kernel::Barnes)
-        .with_seed(2)
-        .run(Mode::ExecutionDriven);
+    let a = go(
+        &exp(NetworkKind::Emesh, Kernel::Barnes).with_seed(1),
+        Mode::ExecutionDriven,
+    );
+    let b = go(
+        &exp(NetworkKind::Emesh, Kernel::Barnes).with_seed(2),
+        Mode::ExecutionDriven,
+    );
     assert_ne!(a.exec_time, b.exec_time, "seed had no effect");
     // Same order of magnitude though.
     let ratio = a.exec_time.as_ps() as f64 / b.exec_time.as_ps() as f64;
@@ -85,9 +89,9 @@ fn headline_claim_sctm_accurate_and_reasonably_fast() {
     // substantially extending the total simulation time" (vs the
     // baseline NoC simulator).
     let omesh = exp(NetworkKind::Omesh, Kernel::Fft);
-    let reference = omesh.run(Mode::ExecutionDriven);
-    let sctm = omesh.run(Mode::SelfCorrection { max_iters: 4 });
-    let baseline = exp(NetworkKind::Emesh, Kernel::Fft).run(Mode::ExecutionDriven);
+    let reference = go(&omesh, Mode::ExecutionDriven);
+    let sctm = go(&omesh, Mode::SelfCorrection { max_iters: 4 });
+    let baseline = go(&exp(NetworkKind::Emesh, Kernel::Fft), Mode::ExecutionDriven);
 
     let acc = accuracy(&sctm, &reference);
     assert!(
@@ -105,7 +109,7 @@ fn headline_claim_sctm_accurate_and_reasonably_fast() {
 #[test]
 fn trace_modes_agree_with_execution_on_message_population() {
     let e = exp(NetworkKind::Oxbar, Kernel::Lu);
-    let reference = e.run(Mode::ExecutionDriven);
+    let reference = go(&e, Mode::ExecutionDriven);
     let log = e.capture();
     // Same deterministic workload: capture and execution-driven see
     // populations of the same order (timing shifts protocol details
@@ -129,7 +133,7 @@ fn wide_sharing_at_64_cores_does_not_deadlock() {
         Kernel::Streamcluster,
     )
     .with_ops(150);
-    let r = e.run(Mode::ExecutionDriven);
+    let r = go(&e, Mode::ExecutionDriven);
     assert!(r.messages > 10_000);
     assert!(r.exec_time > SimTime::ZERO);
 }
@@ -137,16 +141,19 @@ fn wide_sharing_at_64_cores_does_not_deadlock() {
 #[test]
 fn online_mode_beats_uncorrected_analytic_estimate() {
     let e = exp(NetworkKind::Oxbar, Kernel::Fft);
-    let reference = e.run(Mode::ExecutionDriven);
+    let reference = go(&e, Mode::ExecutionDriven);
     // Uncorrected analytic estimate = the capture's own exec time.
     let log = e.capture();
     let uncorrected_err = sctm_engine::stats::rel_err_pct(
         log.capture_exec_time.as_ps() as f64,
         reference.exec_time.as_ps() as f64,
     );
-    let online = e.run(Mode::Online {
-        epoch: SimTime::from_us(2),
-    });
+    let online = go(
+        &e,
+        Mode::Online {
+            epoch: SimTime::from_us(2),
+        },
+    );
     let online_err = accuracy(&online, &reference).exec_time_err_pct;
     assert!(
         online_err < uncorrected_err + 1.0,

@@ -5,11 +5,14 @@
 //! conservative epoch barriers; these tests pin the user-visible
 //! guarantee — `SCTM_THREADS` changes wall time, never results.
 
-use sctm::workloads::Kernel;
-use sctm::{Experiment, Mode, NetworkKind, RunReport, SystemConfig};
+use sctm::prelude::*;
 
 fn exp(kind: NetworkKind, kernel: Kernel) -> Experiment {
     Experiment::new(SystemConfig::new(4, kind), kernel).with_ops(200)
+}
+
+fn go(e: &Experiment, mode: Mode) -> RunReport {
+    e.execute(&RunSpec::new(mode)).expect("valid spec").report
 }
 
 /// Debug-format a report with the host-dependent wall clock removed;
@@ -54,8 +57,8 @@ fn capture_is_byte_identical_at_any_thread_count() {
 fn self_correction_report_is_byte_identical_across_thread_counts() {
     for kind in NetworkKind::DETAILED {
         let mode = Mode::SelfCorrection { max_iters: 2 };
-        let seq = exp(kind, Kernel::Fft).with_capture_threads(1).run(mode);
-        let par = exp(kind, Kernel::Fft).with_capture_threads(4).run(mode);
+        let seq = go(&exp(kind, Kernel::Fft).with_capture_threads(1), mode);
+        let par = go(&exp(kind, Kernel::Fft).with_capture_threads(4), mode);
         assert_eq!(
             fingerprint(&seq),
             fingerprint(&par),
@@ -74,12 +77,14 @@ fn all_modes_match_sequential_with_parallel_capture() {
         Mode::OracleTrace,
         Mode::SelfCorrection { max_iters: 1 },
     ] {
-        let seq = exp(NetworkKind::Hybrid, Kernel::Lu)
-            .with_capture_threads(1)
-            .run(mode);
-        let par = exp(NetworkKind::Hybrid, Kernel::Lu)
-            .with_capture_threads(8)
-            .run(mode);
+        let seq = go(
+            &exp(NetworkKind::Hybrid, Kernel::Lu).with_capture_threads(1),
+            mode,
+        );
+        let par = go(
+            &exp(NetworkKind::Hybrid, Kernel::Lu).with_capture_threads(8),
+            mode,
+        );
         assert_eq!(fingerprint(&seq), fingerprint(&par), "{}", mode.label());
     }
 }

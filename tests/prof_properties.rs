@@ -3,12 +3,11 @@
 //! bracketing invariants of the critical path on real profiled runs.
 
 use proptest::prelude::*;
-use sctm::{Experiment, Mode, NetworkKind, SystemConfig};
+use sctm::prelude::*;
 use sctm_engine::net::{Message, MsgClass, MsgId, NodeId};
 use sctm_engine::rng::StreamRng;
 use sctm_engine::time::SimTime;
 use sctm_prof as prof;
-use sctm_workloads::Kernel;
 
 fn random_traffic(nodes: usize, count: usize, seed: u64) -> Vec<(SimTime, Message)> {
     let mut rng = StreamRng::new(seed);
@@ -115,7 +114,12 @@ fn critical_path_brackets_on_real_runs() {
     for kind in [NetworkKind::Omesh, NetworkKind::Oxbar, NetworkKind::Emesh] {
         let exp = Experiment::new(SystemConfig::new(4, kind), Kernel::Fft).with_ops(200);
         let log = exp.capture();
-        let (_, profile) = exp.run_with_trace_profiled(&log, Mode::SelfCorrection { max_iters: 1 });
+        let spec = RunSpec::self_correction(1).replay_only().profiled();
+        let profile = exp
+            .execute_seeded(&spec, Some(&log))
+            .expect("valid spec")
+            .profile
+            .expect("profiled run returns artefacts");
         assert!(!profile.lifecycles.is_empty(), "{}", kind.label());
         let cp = prof::critical_path(&profile.log, &profile.lifecycles);
         let max_single = profile
@@ -155,9 +159,18 @@ fn critical_path_brackets_on_real_runs() {
 fn profiled_run_samples_series_without_perturbing_results() {
     let exp = Experiment::new(SystemConfig::new(4, NetworkKind::Omesh), Kernel::Fft).with_ops(200);
     let log = exp.capture();
-    let bare = exp.run_with_trace(&log, Mode::SelfCorrection { max_iters: 1 }, None);
-    let (profiled, profile) =
-        exp.run_with_trace_profiled(&log, Mode::SelfCorrection { max_iters: 1 });
+    let spec = RunSpec::self_correction(1).replay_only();
+    let bare = exp
+        .execute_seeded(&spec, Some(&log))
+        .expect("valid spec")
+        .report;
+    let out = exp
+        .execute_seeded(&spec.clone().profiled(), Some(&log))
+        .expect("valid spec");
+    let (profiled, profile) = (
+        out.report,
+        out.profile.expect("profiled run returns artefacts"),
+    );
     assert_eq!(bare.exec_time, profiled.exec_time);
     assert!(!profile.series.is_empty(), "no counter series captured");
     assert!(profile.series.num_points() > 0);

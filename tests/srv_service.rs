@@ -1,0 +1,295 @@
+//! End-to-end contract of the `sctmd` batch service: the cache makes a
+//! sweep cost one capture, caching never changes an answer, results
+//! from the service are byte-identical to direct `execute` calls, the
+//! bounded queue pushes back, and deadlines drop stale requests.
+//!
+//! CI runs this suite under `SCTM_THREADS=1` and `=4`; every
+//! byte-identity assertion therefore also pins thread-count
+//! independence of the service's responses.
+
+use sctm_srv::{
+    parse_request, result_json, serve_lines, Request, RunRequest, Server, ServerConfig,
+};
+
+fn run_req(line: &str) -> RunRequest {
+    match parse_request(line).expect("parse") {
+        Request::Run(r) => *r,
+        other => panic!("expected run, got {other:?}"),
+    }
+}
+
+/// The deterministic tail of a response line (everything from
+/// `"result":`); wall times and cache state live before it.
+fn result_of(line: &str) -> &str {
+    let at = line
+        .find(r#""result":"#)
+        .unwrap_or_else(|| panic!("no result object in {line}"));
+    &line[at..]
+}
+
+fn assert_status(line: &str, status: &str) {
+    assert!(
+        line.starts_with(&format!(r#"{{"status":"{status}""#)),
+        "expected status {status}: {line}"
+    );
+}
+
+#[test]
+fn warm_hit_is_byte_identical_to_cold_and_to_direct_execute() {
+    let server = Server::start(ServerConfig::default());
+    let req = run_req("run kernel=fft net=oxbar side=2 ops=150 mode=sctm iters=2 id=x");
+    let cold = server.submit_blocking(req.clone());
+    let warm = server.submit_blocking(req.clone());
+    assert_status(&cold, "ok");
+    assert!(cold.contains(r#""cache":"miss""#), "{cold}");
+    assert!(warm.contains(r#""cache":"hit""#), "{warm}");
+    assert_eq!(result_of(&cold), result_of(&warm));
+
+    // And both equal the library path with no service in between.
+    let direct = req.experiment.execute(&req.spec).unwrap().report;
+    let direct_json = format!(r#""result":{}}}"#, result_json(&direct, &req.experiment));
+    assert_eq!(result_of(&cold), direct_json);
+}
+
+#[test]
+fn a_config_sweep_costs_exactly_one_capture() {
+    // The service's reason to exist: 50 requests over one workload —
+    // every detailed network crossed with loop knobs — share a single
+    // CMP capture, because the capture key excludes the target network.
+    let server = Server::start(ServerConfig::default());
+    let mut lines = Vec::new();
+    let mut n = 0;
+    'outer: for damping in ["0.4", "0.6", "0.8", "0.9", "1.0"] {
+        for net in ["emesh", "omesh", "oxbar", "hybrid", "obus"] {
+            for mode in ["classic-trace", "sctm"] {
+                if n == 50 {
+                    break 'outer;
+                }
+                n += 1;
+                let req = run_req(&format!(
+                    "run kernel=fft net={net} side=2 ops=150 mode={mode} iters=2 \
+                     damping={damping} replay=1 id=s{n}"
+                ));
+                lines.push(server.submit_blocking(req));
+            }
+        }
+    }
+    assert_eq!(lines.len(), 50);
+    for line in &lines {
+        assert_status(line, "ok");
+    }
+    let misses = lines
+        .iter()
+        .filter(|l| l.contains(r#""cache":"miss""#))
+        .count();
+    let hits = lines
+        .iter()
+        .filter(|l| l.contains(r#""cache":"hit""#))
+        .count();
+    assert_eq!(misses, 1, "sweep captured more than once");
+    assert_eq!(hits, 49);
+    let stats = server.cache_stats();
+    assert_eq!((stats.misses, stats.hits), (1, 49), "{stats:?}");
+}
+
+#[test]
+fn concurrent_clients_get_deterministic_answers() {
+    // Eight client threads, three distinct workloads, same-key requests
+    // racing: every response must equal the direct library answer.
+    let server = std::sync::Arc::new(Server::start(ServerConfig::default()));
+    let reqs: Vec<RunRequest> = [
+        "run kernel=fft net=omesh side=2 ops=150 mode=classic-trace id=c0",
+        "run kernel=lu net=oxbar side=2 ops=150 mode=sctm iters=2 id=c1",
+        "run kernel=barnes net=emesh side=2 ops=150 mode=oracle-trace id=c2",
+    ]
+    .iter()
+    .map(|l| run_req(l))
+    .collect();
+    let expected: Vec<String> = reqs
+        .iter()
+        .map(|r| {
+            let report = r.experiment.execute(&r.spec).unwrap().report;
+            format!(r#""result":{}}}"#, result_json(&report, &r.experiment))
+        })
+        .collect();
+
+    std::thread::scope(|s| {
+        for client in 0..8usize {
+            let server = std::sync::Arc::clone(&server);
+            let reqs = reqs.clone();
+            let expected = expected.clone();
+            s.spawn(move || {
+                for (req, want) in reqs.iter().zip(&expected) {
+                    let line = server.submit_blocking(req.clone());
+                    assert_status(&line, "ok");
+                    assert_eq!(result_of(&line), want, "client {client} diverged");
+                }
+            });
+        }
+    });
+    let stats = server.cache_stats();
+    // 3 distinct workloads → 3 captures total across 24 trace-mode runs.
+    assert_eq!(stats.misses, 3, "{stats:?}");
+    assert_eq!(stats.hits, 21, "{stats:?}");
+}
+
+#[test]
+fn full_queue_pushes_back_with_retry_after() {
+    let server = Server::start(ServerConfig {
+        queue_cap: 2,
+        retry_after_ms: 7,
+        ..ServerConfig::default()
+    });
+    // Occupy the scheduler with a slow batch: it drains the queue
+    // immediately, so the *next* submissions pile up behind it.
+    let heavy = run_req("run kernel=fft net=omesh side=4 ops=500 mode=sctm iters=4 id=heavy");
+    let heavy_rx = server.submit(heavy).expect("heavy enqueues");
+    let quick = "run kernel=fft net=omesh side=2 ops=100 mode=exec-driven id=q";
+    let mut receivers = Vec::new();
+    let mut busy = Vec::new();
+    // Far more submissions than the queue holds, faster than the
+    // scheduler can drain while the heavy batch runs.
+    for _ in 0..200 {
+        match server.submit(run_req(quick)) {
+            Ok(rx) => receivers.push(rx),
+            Err(line) => busy.push(line),
+        }
+    }
+    assert!(!busy.is_empty(), "queue_cap=2 never pushed back");
+    for line in &busy {
+        assert_status(line, "busy");
+        assert!(line.contains(r#""retry_after_ms":7"#), "{line}");
+    }
+    // Everything that *was* accepted still completes and answers.
+    assert_status(&heavy_rx.recv().unwrap(), "ok");
+    for rx in receivers {
+        assert_status(&rx.recv().unwrap(), "ok");
+    }
+}
+
+#[test]
+fn expired_deadlines_drop_requests_without_running_them() {
+    let server = Server::start(ServerConfig::default());
+    // Hold the scheduler so the doomed request sits in the queue past
+    // its (zero) deadline instead of being picked up instantly.
+    let heavy = run_req("run kernel=fft net=omesh side=4 ops=400 mode=sctm iters=3 id=heavy");
+    let heavy_rx = server.submit(heavy).expect("enqueue");
+    let doomed =
+        run_req("run kernel=fft net=omesh side=2 ops=100 mode=exec-driven timeout_ms=0 id=d");
+    let line = server.submit_blocking(doomed);
+    assert_status(&line, "timeout");
+    assert!(line.contains(r#""id":"d""#), "{line}");
+    assert_status(&heavy_rx.recv().unwrap(), "ok");
+    // The dropped request never executed: no completion counted for it.
+    let stats = server.stats_manifest().to_json_compact();
+    assert!(
+        stats.contains(r#""srv.timeouts": {"kind": "counter", "value": 1}"#),
+        "{stats}"
+    );
+}
+
+#[test]
+fn serve_lines_answers_in_request_order_and_flushes_before_control() {
+    let server = Server::start(ServerConfig::default());
+    let script = "\
+run kernel=fft net=omesh side=2 ops=150 mode=classic-trace id=r1
+run kernel=fft net=oxbar side=2 ops=150 mode=classic-trace id=r2
+run kernel=nosuch id=r3
+stats
+ping
+shutdown
+run kernel=fft id=never
+";
+    let mut out = Vec::new();
+    let shutdown = serve_lines(script.as_bytes(), &mut out, &server).expect("serve");
+    assert!(shutdown, "shutdown verb not honoured");
+    server.drain();
+    let lines: Vec<&str> = std::str::from_utf8(&out).unwrap().lines().collect();
+    assert_eq!(lines.len(), 6, "{lines:#?}"); // nothing after shutdown
+    assert_status(lines[0], "ok");
+    assert!(lines[0].contains(r#""id":"r1""#));
+    assert!(lines[0].contains(r#""cache":"miss""#));
+    assert_status(lines[1], "ok");
+    assert!(lines[1].contains(r#""id":"r2""#));
+    assert!(lines[1].contains(r#""cache":"hit""#), "{}", lines[1]);
+    assert_status(lines[2], "error");
+    assert!(lines[2].contains(r#""kind":"unknown-kernel""#));
+    // stats ran after both runs flushed: it must see their captures.
+    assert_status(lines[3], "ok");
+    assert!(
+        lines[3].contains(r#""srv.cache.misses": {"kind": "counter", "value": 1}"#),
+        "{}",
+        lines[3]
+    );
+    assert!(lines[4].contains(r#""pong":true"#));
+    assert!(lines[5].contains(r#""shutting_down":true"#));
+}
+
+#[test]
+fn protocol_errors_are_typed_not_fatal() {
+    let server = Server::start(ServerConfig::default());
+    let script = "\
+bogus-verb
+run kernel=fft mode=warp9
+run kernel=fft net=subspace
+run kernel=fft side=9999
+run kernel=fft mode=sctm iters=0
+ping
+";
+    let mut out = Vec::new();
+    serve_lines(script.as_bytes(), &mut out, &server).expect("serve");
+    let text = String::from_utf8(out).unwrap();
+    let lines: Vec<&str> = text.lines().collect();
+    assert_eq!(lines.len(), 6);
+    for (line, kind) in lines.iter().zip([
+        "invalid-spec",
+        "invalid-spec",
+        "unknown-network",
+        "invalid-config",
+        "invalid-spec",
+    ]) {
+        assert_status(line, "error");
+        assert!(line.contains(&format!(r#""kind":"{kind}""#)), "{line}");
+    }
+    assert!(lines[5].contains("pong"), "{}", lines[5]);
+}
+
+#[test]
+fn drain_finishes_queued_work_then_refuses_new() {
+    let server = Server::start(ServerConfig::default());
+    let mut rxs = Vec::new();
+    for i in 0..4 {
+        let req = run_req(&format!(
+            "run kernel=fft net=omesh side=2 ops=150 mode=classic-trace id=g{i}"
+        ));
+        rxs.push(server.submit(req).expect("enqueue"));
+    }
+    server.drain();
+    for rx in rxs {
+        assert_status(&rx.recv().unwrap(), "ok");
+    }
+    let refused = server.submit_blocking(run_req("run kernel=fft id=late"));
+    assert_status(&refused, "error");
+}
+
+#[test]
+fn tcp_front_end_serves_the_same_protocol() {
+    use std::io::{BufRead, BufReader, Write};
+    let listener = std::net::TcpListener::bind("127.0.0.1:0").expect("bind");
+    let addr = listener.local_addr().unwrap();
+    let server = Server::start(ServerConfig::default());
+    let daemon = std::thread::spawn(move || sctm_srv::serve_tcp(listener, server));
+
+    let mut conn = std::net::TcpStream::connect(addr).expect("connect");
+    conn.write_all(b"run kernel=fft net=omesh side=2 ops=150 mode=classic-trace id=t1\nshutdown\n")
+        .expect("send");
+    let mut reader = BufReader::new(conn.try_clone().unwrap());
+    let mut line = String::new();
+    reader.read_line(&mut line).expect("read run response");
+    assert_status(&line, "ok");
+    assert!(line.contains(r#""id":"t1""#), "{line}");
+    line.clear();
+    reader.read_line(&mut line).expect("read shutdown ack");
+    assert!(line.contains(r#""shutting_down":true"#), "{line}");
+    daemon.join().expect("daemon thread").expect("daemon io");
+}

@@ -4,8 +4,7 @@
 //! when a job runs, never what it computes or where its result lands.
 
 use sctm::engine::par::{num_threads, par_map, serial_map};
-use sctm::workloads::Kernel;
-use sctm::{Experiment, Mode, NetworkKind, SystemConfig};
+use sctm::prelude::*;
 
 /// Everything observable about one run, with float fields captured
 /// bit-for-bit.
@@ -20,7 +19,7 @@ struct Fingerprint {
     lat_data_bits: u64,
 }
 
-fn fingerprint(r: &sctm::RunReport) -> Fingerprint {
+fn fingerprint(r: &RunReport) -> Fingerprint {
     Fingerprint {
         mode: r.mode,
         network: r.network,
@@ -41,7 +40,7 @@ fn grid() -> Vec<impl FnOnce() -> Fingerprint + Send> {
             for mode in [Mode::ExecutionDriven, Mode::SelfCorrection { max_iters: 2 }] {
                 jobs.push(move || {
                     let e = Experiment::new(SystemConfig::new(2, kind), kernel).with_ops(150);
-                    fingerprint(&e.run(mode))
+                    fingerprint(&e.execute(&RunSpec::new(mode)).expect("valid spec").report)
                 });
             }
         }
@@ -75,7 +74,8 @@ fn results_stay_in_input_order_with_skewed_job_costs() {
                     // Disproportionately expensive cell.
                     let e = Experiment::new(SystemConfig::new(2, NetworkKind::Omesh), Kernel::Fft)
                         .with_ops(200);
-                    (i, e.run(Mode::ExecutionDriven).exec_time.as_ps())
+                    let r = e.execute(&RunSpec::exec_driven()).expect("valid spec");
+                    (i, r.report.exec_time.as_ps())
                 } else {
                     (i, i.wrapping_mul(0x9E37_79B9_7F4A_7C15))
                 }

@@ -2,8 +2,8 @@
 //! randomly parameterised workloads and networks.
 
 use proptest::prelude::*;
-use sctm::workloads::{build, Kernel, WorkloadParams};
-use sctm::{Experiment, Mode, NetworkKind, SystemConfig};
+use sctm::prelude::*;
+use sctm::workloads::{build, WorkloadParams};
 use sctm_cmp::{CmpConfig, CmpSim};
 use sctm_engine::net::{AnalyticNetwork, NetworkModel};
 use sctm_engine::time::SimTime;
@@ -157,7 +157,10 @@ fn trace_survives_full_self_correction_loop_on_detailed_networks() {
     // Non-proptest smoke over the real optical networks (slower).
     for kind in [NetworkKind::Omesh, NetworkKind::Oxbar] {
         let e = Experiment::new(SystemConfig::new(4, kind), Kernel::Barnes).with_ops(200);
-        let r = e.run(Mode::SelfCorrection { max_iters: 3 });
+        let r = e
+            .execute(&RunSpec::self_correction(3))
+            .expect("valid spec")
+            .report;
         let iters = r.iterations.as_ref().unwrap();
         assert!(!iters.is_empty());
         assert!(iters.iter().all(|s| s.messages > 100));

@@ -1,0 +1,55 @@
+//! Incremental self-correction replay (PR6): dirty-frontier replay
+//! with epoch checkpoints vs the from-scratch loop.
+//!
+//! `spliced` is the incremental engine's best case — with damping off
+//! and the factor-movement exit disabled, iterations 2..N see inputs
+//! identical to iteration 1 and splice the previous result without
+//! re-simulating. `full` is the identical workload with the engine
+//! disabled; `damped` is the default damped loop, where consecutive
+//! captures genuinely differ and the engine's job is to cost ~nothing
+//! on top of full replay (checkpoint recording is skipped once a
+//! length change is detected).
+
+use criterion::{black_box, criterion_group, criterion_main, BenchmarkId, Criterion};
+use sctm_core::{Experiment, NetworkKind, RunSpec, SystemConfig};
+use sctm_workloads::Kernel;
+
+fn exp() -> Experiment {
+    Experiment::new(SystemConfig::new(4, NetworkKind::Omesh), Kernel::Fft)
+        .with_ops(300)
+        .with_capture_threads(1)
+}
+
+fn go(e: &Experiment, spec: &RunSpec) -> sctm_core::RunReport {
+    e.execute(spec).expect("valid spec").report
+}
+
+fn splice_spec(incremental: bool) -> RunSpec {
+    RunSpec::self_correction(4)
+        .with_damping(0.0)
+        .with_factor_epsilon(0.0)
+        .with_incremental(incremental)
+}
+
+fn bench_incr(c: &mut Criterion) {
+    let mut g = c.benchmark_group("incr_replay_fft16");
+    g.bench_function(BenchmarkId::from_parameter("full_t1"), |b| {
+        b.iter(|| black_box(go(&exp(), &splice_spec(false)).exec_time))
+    });
+    g.bench_function(BenchmarkId::from_parameter("spliced_t1"), |b| {
+        b.iter(|| black_box(go(&exp(), &splice_spec(true)).exec_time))
+    });
+    g.bench_function(BenchmarkId::from_parameter("damped_t1"), |b| {
+        b.iter(|| {
+            black_box(go(&exp(), &RunSpec::self_correction(4).with_incremental(true)).exec_time)
+        })
+    });
+    g.finish();
+}
+
+criterion_group! {
+    name = benches;
+    config = Criterion::default().sample_size(10);
+    targets = bench_incr
+}
+criterion_main!(benches);

@@ -33,10 +33,11 @@
 use crate::cache::{Cache, CacheGeometry, LineAddr};
 use crate::protocol::{DirState, InjectRecord, Op, ProtocolMsg, Sharers, TraceHook, Workload};
 use sctm_engine::event::EventQueue;
+use sctm_engine::hash::FxHashMap;
 use sctm_engine::msgtable::MsgTable;
 use sctm_engine::net::{Delivery, Message, MsgClass, MsgId, NetStats, NetworkModel, NodeId};
 use sctm_engine::time::{Freq, SimTime};
-use std::collections::{HashMap, VecDeque};
+use std::collections::VecDeque;
 
 /// CMP configuration.
 #[derive(Clone, Debug)]
@@ -222,10 +223,10 @@ pub struct CmpSim {
     cores: Vec<CoreState>,
     l1: Vec<Cache<L1Meta>>,
     l2: Vec<Cache<L2Meta>>,
-    dir: HashMap<u64, DirState>,
-    busy: HashMap<u64, Txn>,
-    queued: HashMap<u64, VecDeque<QueuedReq>>,
-    last_unblock: HashMap<u64, MsgId>,
+    dir: FxHashMap<u64, DirState>,
+    busy: FxHashMap<u64, Txn>,
+    queued: FxHashMap<u64, VecDeque<QueuedReq>>,
+    last_unblock: FxHashMap<u64, MsgId>,
     mem_free: Vec<SimTime>,
     /// In-flight protocol payloads by message id.
     in_flight: MsgTable<ProtocolMsg>,
@@ -243,7 +244,7 @@ pub struct CmpSim {
     /// The sequential path uses the same scheme so the two are
     /// bit-identical.
     next_seq: Vec<u64>,
-    barrier_counts: HashMap<u32, (u32, Vec<MsgId>)>,
+    barrier_counts: FxHashMap<u32, (u32, Vec<MsgId>)>,
     /// Integer miss-latency accumulator. An integer sum (unlike a
     /// streaming mean) is independent of push order, so per-shard
     /// partial sums aggregate to exactly the sequential value.
@@ -284,15 +285,15 @@ impl CmpSim {
                 })
                 .collect(),
             mem_free: vec![SimTime::ZERO; cfg.mem_ctrl_nodes().len()],
-            dir: HashMap::new(),
-            busy: HashMap::new(),
-            queued: HashMap::new(),
-            last_unblock: HashMap::new(),
+            dir: FxHashMap::default(),
+            busy: FxHashMap::default(),
+            queued: FxHashMap::default(),
+            last_unblock: FxHashMap::default(),
             in_flight: MsgTable::new(),
             granted: vec![None; n],
             last_out: vec![None; n],
             next_seq: vec![0; n],
-            barrier_counts: HashMap::new(),
+            barrier_counts: FxHashMap::default(),
             miss_lat_sum_ps: 0,
             miss_lat_count: 0,
             q: EventQueue::new(),
@@ -657,7 +658,7 @@ impl CmpSim {
     /// contents against the union of all shards' directory slices (the
     /// directory is partitioned by home node, L1s by core).
     pub(crate) fn validate_coherence_sharded(shards: &[CmpSim]) {
-        let mut dir: HashMap<u64, DirState> = HashMap::new();
+        let mut dir: FxHashMap<u64, DirState> = FxHashMap::default();
         for s in shards {
             for (k, v) in &s.dir {
                 let prior = dir.insert(*k, *v);
@@ -679,7 +680,7 @@ impl CmpSim {
     /// runs the directory is partitioned by home node, so each shard's
     /// L1 contents must be checked against the *union* of all shards'
     /// directory slices.
-    fn validate_coherence_with(&self, dir: &HashMap<u64, DirState>) {
+    fn validate_coherence_with(&self, dir: &FxHashMap<u64, DirState>) {
         for (core, l1) in self.l1.iter().enumerate() {
             l1.for_each_line(|line, meta| match dir.get(&line.0) {
                 Some(DirState::Modified(o)) => {

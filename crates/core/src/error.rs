@@ -28,6 +28,12 @@ pub enum SctmError {
     /// Trace ingestion failed (absorbs [`TraceError`] from the CSV
     /// round-trip, file I/O included).
     Trace(TraceError),
+    /// A budgeted replay exhausted its batch budget before every
+    /// message was delivered — the congestion-collapse guard for
+    /// open-loop (classic) replay of a saturated network
+    /// ([`crate::RunSpec::with_replay_budget`]). Carries the budget
+    /// that was spent.
+    BudgetExhausted { batches: u64 },
 }
 
 impl std::fmt::Display for SctmError {
@@ -38,6 +44,11 @@ impl std::fmt::Display for SctmError {
             SctmError::UnknownKernel(k) => write!(f, "unknown kernel {k:?}"),
             SctmError::UnknownNetwork(n) => write!(f, "unknown network {n:?}"),
             SctmError::Trace(e) => write!(f, "trace ingestion: {e}"),
+            SctmError::BudgetExhausted { batches } => write!(
+                f,
+                "replay exhausted its batch budget ({batches} batches) before all \
+                 messages delivered — the network is past its saturation point"
+            ),
         }
     }
 }
@@ -63,7 +74,7 @@ mod tests {
 
     #[test]
     fn displays_are_specific() {
-        let cases: [(SctmError, &str); 5] = [
+        let cases: [(SctmError, &str); 6] = [
             (SctmError::InvalidSpec("x".into()), "invalid run spec"),
             (
                 SctmError::InvalidConfig("y".into()),
@@ -72,6 +83,10 @@ mod tests {
             (SctmError::UnknownKernel("fft9".into()), "unknown kernel"),
             (SctmError::UnknownNetwork("warp".into()), "unknown network"),
             (SctmError::Trace(TraceError::BadMagic), "trace ingestion"),
+            (
+                SctmError::BudgetExhausted { batches: 10_000 },
+                "batch budget",
+            ),
         ];
         for (e, needle) in cases {
             assert!(e.to_string().contains(needle), "{e}");

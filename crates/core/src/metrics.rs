@@ -32,7 +32,7 @@ pub struct RunReport {
 /// One iteration of the outer self-correction loop (capture on the
 /// corrected analytic model → self-correcting replay on the target →
 /// feed corrections back).
-#[derive(Clone, Copy, Debug)]
+#[derive(Clone, Copy, Debug, PartialEq)]
 pub struct IterStats {
     pub iteration: usize,
     /// Execution-time estimate after this iteration's replay.

@@ -15,10 +15,10 @@ use sctm_engine::net::{AnalyticNetwork, MsgClass, MsgLifecycle, NetworkModel, No
 use sctm_engine::time::SimTime;
 use sctm_obs as obs;
 use sctm_trace::replay::{
-    pair_corrections, replay_fixed, replay_oracle, replay_sctm_pass, replay_sctm_pass_with,
-    ReplayScratch,
+    pair_corrections, replay_fixed, replay_fixed_budgeted, replay_oracle, replay_sctm_pass,
+    replay_sctm_pass_with, ReplayScratch,
 };
-use sctm_trace::{Capture, OnlineCorrected, TraceLog};
+use sctm_trace::{Capture, IncrReplayer, OnlineCorrected, PassKind, TraceLog};
 use sctm_workloads::{build, Kernel, WorkloadParams};
 use std::time::Instant;
 
@@ -96,6 +96,12 @@ pub struct Experiment {
     /// count keeps rare flapping pairs from masking convergence. `0`
     /// disables.
     pub factor_epsilon: f64,
+    /// Reuse replay work across self-correction iterations via
+    /// dirty-frontier checkpoints ([`sctm_trace::IncrReplayer`]).
+    /// Bit-identical to from-scratch replay at every iteration — the
+    /// switch exists for A/B measurement and as an escape hatch, not
+    /// because the results differ. Default on.
+    pub incremental: bool,
 }
 
 impl Experiment {
@@ -108,6 +114,7 @@ impl Experiment {
             capture_threads: 0,
             damping: 1.0,
             factor_epsilon: 0.10,
+            incremental: true,
         }
     }
 
@@ -142,6 +149,13 @@ impl Experiment {
     pub fn with_factor_epsilon(mut self, eps: f64) -> Self {
         assert!(eps >= 0.0);
         self.factor_epsilon = eps;
+        self
+    }
+
+    /// Enable or disable incremental self-correction replay (see
+    /// [`Experiment::incremental`]).
+    pub fn with_incremental(mut self, on: bool) -> Self {
+        self.incremental = on;
         self
     }
 
@@ -220,6 +234,9 @@ impl Experiment {
         if let Some(eps) = spec.factor_epsilon {
             e.factor_epsilon = eps;
         }
+        if let Some(inc) = spec.incremental {
+            e.incremental = inc;
+        }
         e
     }
 
@@ -284,7 +301,7 @@ impl Experiment {
                         &owned
                     }
                 };
-                let r = exp.replay_report(log, mode);
+                let r = exp.replay_report(log, mode, spec.replay_batch_budget)?;
                 if spec.profile {
                     profile_log = Some(log.clone());
                 }
@@ -419,6 +436,9 @@ impl Experiment {
         // One replay arena for the whole loop: every iteration replays a
         // same-shaped trace, so the buffers are paid for once.
         let mut scratch = ReplayScratch::new();
+        // Incremental engine, alive across iterations so its
+        // checkpoints and previous-pass inputs carry over.
+        let mut incr = self.incremental.then(IncrReplayer::new);
         // Relative convergence threshold: 0.5% of the estimate.
         for it in 1..=max_iters {
             let _iter_span = obs::span("sctm", "iteration");
@@ -435,7 +455,32 @@ impl Experiment {
             let mut net = SystemConfig::make_network_kind(side, kind);
             let result = {
                 let _span = obs::span("sctm", "replay");
-                replay_sctm_pass_with(&log, net.as_mut(), &mut scratch)
+                match &mut incr {
+                    Some(engine) => {
+                        let (result, pass) = engine.replay(&log, &mut net, &mut scratch);
+                        if obs::enabled() {
+                            obs::with_global(|reg| {
+                                reg.counter_add(
+                                    match pass.kind {
+                                        PassKind::Full => "sctm.incr.passes_full",
+                                        PassKind::Spliced => "sctm.incr.passes_spliced",
+                                        PassKind::Resumed { .. } => "sctm.incr.passes_resumed",
+                                    },
+                                    1,
+                                );
+                                reg.counter_add("sctm.incr.frontier", pass.dirty);
+                                reg.counter_add("sctm.incr.epochs_restored", pass.epochs_restored);
+                                reg.counter_add("sctm.incr.epochs_replayed", pass.epochs_replayed);
+                                reg.gauge_set(
+                                    "sctm.incr.checkpoint_bytes",
+                                    pass.checkpoint_bytes as f64,
+                                );
+                            });
+                        }
+                        result
+                    }
+                    None => replay_sctm_pass_with(&log, net.as_mut(), &mut scratch),
+                }
             };
             if obs::enabled() {
                 obs::with_global(|reg| {
@@ -589,24 +634,38 @@ impl Experiment {
     /// [`Mode::SelfCorrection`], this is a *single* self-correcting
     /// pass on the given trace — the full loop with re-capture is
     /// the non-`replay_only` path of [`Experiment::execute`]).
-    fn replay_report(&self, log: &TraceLog, mode: Mode) -> RunReport {
+    ///
+    /// `budget` (classic trace only) caps the replay at that many
+    /// network advancement steps; exceeding it returns
+    /// [`SctmError::BudgetExhausted`] — the congestion-collapse guard
+    /// for open-loop replay of a saturated target.
+    fn replay_report(
+        &self,
+        log: &TraceLog,
+        mode: Mode,
+        budget: Option<u64>,
+    ) -> Result<RunReport, SctmError> {
         let wall0 = Instant::now();
         let side = self.system.side;
         let kind = self.system.network;
         let mut net = SystemConfig::make_network_kind(side, kind);
         let result = {
             let _span = obs::span("sctm", "replay");
-            match mode {
-                Mode::ClassicTrace => replay_fixed(log, net.as_mut()),
-                Mode::OracleTrace => replay_oracle(log, net.as_mut()),
-                Mode::SelfCorrection { .. } => replay_sctm_pass(log, net.as_mut()),
+            match (mode, budget) {
+                (Mode::ClassicTrace, Some(b)) => {
+                    replay_fixed_budgeted(log, net.as_mut(), &mut ReplayScratch::new(), b)
+                        .map_err(|batches| SctmError::BudgetExhausted { batches })?
+                }
+                (Mode::ClassicTrace, None) => replay_fixed(log, net.as_mut()),
+                (Mode::OracleTrace, _) => replay_oracle(log, net.as_mut()),
+                (Mode::SelfCorrection { .. }, _) => replay_sctm_pass(log, net.as_mut()),
                 _ => panic!("run_with_trace called with non-trace mode {mode:?}"),
             }
         };
         if obs::enabled() {
             obs::with_global(|reg| obs::publish_network(reg, net.as_ref(), result.est_exec_time));
         }
-        RunReport {
+        Ok(RunReport {
             mode: mode.label(),
             network: kind.label(),
             workload: self.kernel.label(),
@@ -616,7 +675,7 @@ impl Experiment {
             messages: log.len() as u64,
             wall: wall0.elapsed(),
             iterations: None,
-        }
+        })
     }
 
     /// Execution-driven on the online-corrected analytic model (shadow
@@ -825,6 +884,55 @@ mod tests {
             e.execute(&RunSpec::exec_driven().profiled()),
             Err(SctmError::InvalidSpec(_))
         ));
+    }
+
+    #[test]
+    fn incremental_toggle_is_bit_identical() {
+        let e = exp(NetworkKind::Omesh);
+        for spec in [
+            RunSpec::self_correction(4),
+            RunSpec::self_correction(4)
+                .with_damping(0.0)
+                .with_factor_epsilon(0.0),
+        ] {
+            let on = go(&e, &spec.clone().with_incremental(true));
+            let off = go(&e, &spec.with_incremental(false));
+            assert_eq!(on.exec_time, off.exec_time);
+            assert_eq!(on.messages, off.messages);
+            assert_eq!(
+                on.mean_lat_ctrl_ns.to_bits(),
+                off.mean_lat_ctrl_ns.to_bits()
+            );
+            assert_eq!(
+                on.mean_lat_data_ns.to_bits(),
+                off.mean_lat_data_ns.to_bits()
+            );
+            assert_eq!(on.iterations, off.iterations);
+        }
+    }
+
+    #[test]
+    fn tiny_replay_budget_trips_typed_error() {
+        let e = exp(NetworkKind::Omesh);
+        let log = e.capture();
+        let err = e
+            .execute_seeded(&RunSpec::classic().with_replay_budget(2), Some(&log))
+            .unwrap_err();
+        assert!(
+            matches!(err, SctmError::BudgetExhausted { batches: 2 }),
+            "{err}"
+        );
+        // A generous budget completes and matches the unbudgeted run.
+        let generous = 200 * log.len() as u64;
+        let ok = e
+            .execute_seeded(&RunSpec::classic().with_replay_budget(generous), Some(&log))
+            .unwrap()
+            .report;
+        let free = e
+            .execute_seeded(&RunSpec::classic(), Some(&log))
+            .unwrap()
+            .report;
+        assert_eq!(ok.exec_time, free.exec_time);
     }
 
     #[test]

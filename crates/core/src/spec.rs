@@ -37,6 +37,18 @@ pub struct RunSpec {
     /// trace modes a single replay is all there ever is, so the flag is
     /// implied.
     pub replay_only: bool,
+    /// Override of [`crate::Experiment::incremental`] for this run:
+    /// whether [`Mode::SelfCorrection`] reuses replay work across
+    /// iterations via dirty-frontier checkpoints (bit-identical to the
+    /// full pass either way; see DESIGN.md §11).
+    pub incremental: Option<bool>,
+    /// Classic-trace replay only: abort with
+    /// [`SctmError::BudgetExhausted`] once the replay has advanced this
+    /// many network batches without delivering every message. Open-loop
+    /// replay on a detailed model past its saturation point can expand
+    /// the timeline essentially without bound; the budget turns that
+    /// pathological case into a typed error instead of a stall.
+    pub replay_batch_budget: Option<u64>,
 }
 
 impl RunSpec {
@@ -47,6 +59,8 @@ impl RunSpec {
             factor_epsilon: None,
             profile: false,
             replay_only: false,
+            incremental: None,
+            replay_batch_budget: None,
         }
     }
 
@@ -99,6 +113,20 @@ impl RunSpec {
         self
     }
 
+    /// Enable or disable incremental (checkpointed) self-correction
+    /// replay for this run.
+    pub fn with_incremental(mut self, on: bool) -> Self {
+        self.incremental = Some(on);
+        self
+    }
+
+    /// Cap classic-trace replay at `batches` network batches; past the
+    /// cap the run returns [`SctmError::BudgetExhausted`].
+    pub fn with_replay_budget(mut self, batches: u64) -> Self {
+        self.replay_batch_budget = Some(batches);
+        self
+    }
+
     /// Reject field combinations `execute` cannot honour. Called by
     /// [`crate::Experiment::execute`]; public so services can reject a
     /// request before queueing it.
@@ -133,6 +161,24 @@ impl RunSpec {
         if self.replay_only && traceless {
             return invalid(format!(
                 "replay_only needs a trace mode, not {}",
+                self.mode.label()
+            ));
+        }
+        match self.replay_batch_budget {
+            Some(0) => {
+                return invalid("replay batch budget must be >= 1".into());
+            }
+            Some(_) if !matches!(self.mode, Mode::ClassicTrace) => {
+                return invalid(format!(
+                    "replay budget applies to classic trace replay, not {}",
+                    self.mode.label()
+                ));
+            }
+            _ => {}
+        }
+        if self.incremental.is_some() && !matches!(self.mode, Mode::SelfCorrection { .. }) {
+            return invalid(format!(
+                "incremental replay applies to self-correction, not {}",
                 self.mode.label()
             ));
         }
@@ -211,6 +257,26 @@ mod tests {
                 .unwrap_err();
             assert!(matches!(err, SctmError::InvalidSpec(_)), "epsilon {bad}");
         }
+    }
+
+    #[test]
+    fn rejects_misapplied_budget_and_incremental() {
+        let err = RunSpec::classic().with_replay_budget(0).validate();
+        assert!(matches!(err, Err(SctmError::InvalidSpec(_))), "{err:?}");
+        assert_eq!(
+            RunSpec::classic().with_replay_budget(500).validate(),
+            Ok(())
+        );
+        let err = RunSpec::oracle().with_replay_budget(500).validate();
+        assert!(matches!(err, Err(SctmError::InvalidSpec(_))), "{err:?}");
+        assert_eq!(
+            RunSpec::self_correction(3)
+                .with_incremental(false)
+                .validate(),
+            Ok(())
+        );
+        let err = RunSpec::classic().with_incremental(true).validate();
+        assert!(matches!(err, Err(SctmError::InvalidSpec(_))), "{err:?}");
     }
 
     #[test]

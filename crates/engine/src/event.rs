@@ -75,9 +75,15 @@ pub enum QueueBackend {
 /// bucket — no epoch/year filtering is needed on pop. Events beyond the
 /// horizon wait in `overflow` (a plain heap) and migrate in as the
 /// cursor advances.
-#[derive(Debug)]
+#[derive(Debug, Clone)]
 struct Wheel<E> {
     buckets: Vec<Vec<QueuedEvent<E>>>,
+    /// One bit per bucket: set iff the bucket is non-empty. Lets the
+    /// min rebuild skip runs of empty buckets a word at a time instead
+    /// of probing each `Vec` — on replay-shaped schedules the next
+    /// event is typically several empty buckets ahead, and this scan
+    /// runs once per pop.
+    occ: Vec<u64>,
     /// log2 of the bucket width in picoseconds.
     shift: u32,
     /// Absolute bucket number (`at >> shift`) of the wheel cursor. Only
@@ -101,6 +107,7 @@ impl<E> Wheel<E> {
     fn new() -> Self {
         Wheel {
             buckets: (0..WHEEL_MIN_BUCKETS).map(|_| Vec::new()).collect(),
+            occ: vec![0; WHEEL_MIN_BUCKETS.div_ceil(64)],
             // 1024 ps buckets to start with; resize adapts.
             shift: 10,
             cursor_ab: 0,
@@ -113,6 +120,48 @@ impl<E> Wheel<E> {
     #[inline]
     fn mask(&self) -> u64 {
         (self.buckets.len() - 1) as u64
+    }
+
+    #[inline]
+    fn occ_set(&mut self, idx: usize) {
+        self.occ[idx >> 6] |= 1u64 << (idx & 63);
+    }
+
+    #[inline]
+    fn occ_clear(&mut self, idx: usize) {
+        self.occ[idx >> 6] &= !(1u64 << (idx & 63));
+    }
+
+    /// First non-empty bucket index at or after `start` in ring order
+    /// (wrapping once past the end). `None` iff every bucket is empty.
+    fn occ_next(&self, start: usize) -> Option<usize> {
+        let nb = self.buckets.len();
+        let words = self.occ.len();
+        let (w0, b0) = (start >> 6, start & 63);
+        // Tail of the starting word, then whole words to the end.
+        let first = self.occ[w0] & (!0u64 << b0);
+        if first != 0 {
+            return Some((w0 << 6) + first.trailing_zeros() as usize);
+        }
+        for w in w0 + 1..words {
+            if self.occ[w] != 0 {
+                return Some((w << 6) + self.occ[w].trailing_zeros() as usize);
+            }
+        }
+        // Wrap: words before the start, then the head of the start word.
+        for w in 0..w0 {
+            if self.occ[w] != 0 {
+                let i = (w << 6) + self.occ[w].trailing_zeros() as usize;
+                if i < nb {
+                    return Some(i);
+                }
+            }
+        }
+        let head = self.occ[w0] & !(!0u64 << b0);
+        if head != 0 {
+            return Some((w0 << 6) + head.trailing_zeros() as usize);
+        }
+        None
     }
 
     #[inline]
@@ -150,7 +199,9 @@ impl<E> Wheel<E> {
         }
         {
             let m = self.mask();
-            self.buckets[(ab & m) as usize].push(ev);
+            let i = (ab & m) as usize;
+            self.buckets[i].push(ev);
+            self.occ_set(i);
         }
         self.count += 1;
     }
@@ -176,23 +227,26 @@ impl<E> Wheel<E> {
             return;
         }
         let mask = self.mask();
-        for step in 0..self.buckets.len() as u64 {
-            let ab = self.cursor_ab + step;
-            let b = &self.buckets[(ab & mask) as usize];
-            if b.is_empty() {
-                continue;
+        let start = (self.cursor_ab & mask) as usize;
+        let i = self
+            .occ_next(start)
+            .expect("wheel count positive but no bucket occupied");
+        // Ring index back to the absolute bucket inside the window.
+        let nb = self.buckets.len();
+        let ab = if i >= start {
+            self.cursor_ab + (i - start) as u64
+        } else {
+            self.cursor_ab + (nb - start + i) as u64
+        };
+        let b = &self.buckets[i];
+        let (mut idx, mut best) = (0usize, (b[0].at, b[0].seq));
+        for (i, e) in b.iter().enumerate().skip(1) {
+            if (e.at, e.seq) < best {
+                best = (e.at, e.seq);
+                idx = i;
             }
-            let (mut idx, mut best) = (0usize, (b[0].at, b[0].seq));
-            for (i, e) in b.iter().enumerate().skip(1) {
-                if (e.at, e.seq) < best {
-                    best = (e.at, e.seq);
-                    idx = i;
-                }
-            }
-            self.cached_min = Some((best.0, best.1, ab, idx));
-            return;
         }
-        unreachable!("wheel count positive but no bucket occupied");
+        self.cached_min = Some((best.0, best.1, ab, idx));
     }
 
     fn pop(&mut self) -> Option<QueuedEvent<E>> {
@@ -209,10 +263,19 @@ impl<E> Wheel<E> {
             }
             Some((_, _, ab, idx)) => {
                 let mask = self.mask();
-                let ev = self.buckets[(ab & mask) as usize].swap_remove(idx);
+                let i = (ab & mask) as usize;
+                let ev = self.buckets[i].swap_remove(idx);
+                if self.buckets[i].is_empty() {
+                    self.occ_clear(i);
+                }
                 self.count -= 1;
-                self.cursor_ab = ab;
-                self.migrate_due();
+                // Overflow events become due only when the horizon
+                // (cursor + window) advances; a pop within the cursor
+                // bucket cannot uncover any.
+                if ab != self.cursor_ab {
+                    self.cursor_ab = ab;
+                    self.migrate_due();
+                }
                 self.rebuild_min();
                 Some(ev)
             }
@@ -228,7 +291,9 @@ impl<E> Wheel<E> {
                 break;
             }
             let ev = self.overflow.pop().expect("peeked");
-            self.buckets[(ab & mask) as usize].push(ev);
+            let i = (ab & mask) as usize;
+            self.buckets[i].push(ev);
+            self.occ_set(i);
             self.count += 1;
         }
     }
@@ -255,6 +320,7 @@ impl<E> Wheel<E> {
             .next_power_of_two()
             .clamp(WHEEL_MIN_BUCKETS, WHEEL_MAX_BUCKETS);
         self.buckets = (0..want).map(|_| Vec::new()).collect();
+        self.occ = vec![0; want.div_ceil(64)];
         self.cursor_ab = now.as_ps() >> self.shift;
         for ev in all {
             let ab = ev.at.as_ps() >> self.shift;
@@ -263,7 +329,9 @@ impl<E> Wheel<E> {
             } else {
                 {
                     let m = self.mask();
-                    self.buckets[(ab & m) as usize].push(ev);
+                    let i = (ab & m) as usize;
+                    self.buckets[i].push(ev);
+                    self.occ_set(i);
                 }
                 self.count += 1;
             }
@@ -275,6 +343,7 @@ impl<E> Wheel<E> {
         for b in &mut self.buckets {
             b.clear();
         }
+        self.occ.iter_mut().for_each(|w| *w = 0);
         self.overflow.clear();
         self.count = 0;
         self.cursor_ab = 0;
@@ -282,7 +351,7 @@ impl<E> Wheel<E> {
     }
 }
 
-#[derive(Debug)]
+#[derive(Debug, Clone)]
 enum Backend<E> {
     Heap(BinaryHeap<QueuedEvent<E>>),
     Calendar(Wheel<E>),
@@ -295,7 +364,7 @@ enum Backend<E> {
 /// model bug and panics in debug builds; in release it is clamped to
 /// `now` (the least-wrong recovery, and cheaper than a branch miss on a
 /// cold error path).
-#[derive(Debug)]
+#[derive(Debug, Clone)]
 pub struct EventQueue<E> {
     backend: Backend<E>,
     next_seq: u64,

@@ -26,6 +26,7 @@
 //! for parallel parameter sweeps.
 
 pub mod event;
+pub mod hash;
 pub mod msgtable;
 pub mod net;
 pub mod par;

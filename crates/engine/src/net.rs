@@ -267,6 +267,47 @@ pub trait NetworkModel: Send {
         last
     }
 
+    /// Advance through whole event-timestamp batches until one produces
+    /// a delivery, the next event time reaches `stop` (exclusive: the
+    /// batch at `stop` is *not* processed), or the model goes quiescent.
+    /// Returns the model's next event time after stopping.
+    ///
+    /// This is the replay engines' inner loop hoisted across the trait
+    /// boundary: driving a boxed model per-timestamp costs two virtual
+    /// calls per event round, while here the `next_time`/`advance_until`
+    /// calls devirtualize inside the (monomorphic) implementation. The
+    /// default must keep exactly the semantics of the caller-side loop
+    /// it replaces — same pop order on the same queue — so overriding
+    /// implementations can only restate it, never reorder it.
+    fn advance_batches(
+        &mut self,
+        stop: Option<SimTime>,
+        out: &mut Vec<Delivery>,
+    ) -> Option<SimTime> {
+        loop {
+            let t = self.next_time()?;
+            if let Some(s) = stop {
+                if t >= s {
+                    return Some(t);
+                }
+            }
+            let before = out.len();
+            self.advance_until(t, out);
+            if out.len() > before {
+                return self.next_time();
+            }
+        }
+    }
+
+    /// Clone the model's complete state behind a fresh box, or `None`
+    /// if the model does not support checkpointing. Used by incremental
+    /// replay to record epoch checkpoints; a snapshot must behave
+    /// exactly like the original from this point on (same event order,
+    /// same tiebreaks, same statistics).
+    fn snapshot(&self) -> Option<Box<dyn NetworkModel>> {
+        None
+    }
+
     /// Aggregate statistics since construction (or the last reset).
     fn stats(&self) -> &NetStats;
 
@@ -497,6 +538,10 @@ impl AnalyticNetwork {
 }
 
 impl NetworkModel for AnalyticNetwork {
+    fn snapshot(&self) -> Option<Box<dyn NetworkModel>> {
+        Some(Box::new(self.clone()))
+    }
+
     fn num_nodes(&self) -> usize {
         self.nodes
     }

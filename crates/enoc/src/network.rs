@@ -78,7 +78,7 @@ impl NocConfig {
 }
 
 /// State of one input virtual channel.
-#[derive(Debug, Default)]
+#[derive(Clone, Debug, Default)]
 struct InVc {
     buf: VecDeque<Flit>,
     /// Route of the packet currently occupying this VC.
@@ -87,7 +87,7 @@ struct InVc {
     out_vc: Option<usize>,
 }
 
-#[derive(Debug)]
+#[derive(Clone, Debug)]
 struct Router {
     /// Input VCs, indexed `port * V + vc`.
     invc: Vec<InVc>,
@@ -102,7 +102,7 @@ struct Router {
 }
 
 /// Per-node network interface: packet source queue and reassembly sink.
-#[derive(Debug, Default)]
+#[derive(Clone, Debug, Default)]
 struct Ni {
     q: VecDeque<Flit>,
     /// VC currently carrying the packet at the front of `q`.
@@ -110,6 +110,7 @@ struct Ni {
 }
 
 /// The electrical NoC simulator.
+#[derive(Clone, Debug)]
 pub struct NocSim {
     cfg: NocConfig,
     routers: Vec<Router>,
@@ -551,6 +552,10 @@ impl NocSim {
 }
 
 impl NetworkModel for NocSim {
+    fn snapshot(&self) -> Option<Box<dyn NetworkModel>> {
+        Some(Box::new(self.clone()))
+    }
+
     fn num_nodes(&self) -> usize {
         self.cfg.topology.num_nodes()
     }

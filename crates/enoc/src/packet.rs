@@ -114,7 +114,7 @@ impl PacketizeConfig {
 /// (wormhole switching interleaves few packets per ejection port), so a
 /// linear-scan vector beats a hash map here: no hashing on the per-flit
 /// path, and removal is a `swap_remove`.
-#[derive(Debug, Default)]
+#[derive(Clone, Debug, Default)]
 pub struct Reassembly {
     open: Vec<(u64, Message, SimTime, usize)>,
 }

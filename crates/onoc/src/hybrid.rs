@@ -69,6 +69,7 @@ impl HybridConfig {
 
 /// The hybrid interconnect: an optical circuit-switched plane stacked on
 /// an electrical packet-switched plane.
+#[derive(Clone, Debug)]
 pub struct HybridSim {
     cfg: HybridConfig,
     optical: OmeshSim,
@@ -119,6 +120,10 @@ impl HybridSim {
 }
 
 impl NetworkModel for HybridSim {
+    fn snapshot(&self) -> Option<Box<dyn NetworkModel>> {
+        Some(Box::new(self.clone()))
+    }
+
     fn num_nodes(&self) -> usize {
         self.cfg.side * self.cfg.side
     }

@@ -97,6 +97,7 @@ struct InFlight {
 }
 
 /// The SWMR broadcast-bus simulator.
+#[derive(Clone, Debug)]
 pub struct ObusSim {
     cfg: ObusConfig,
     q: EventQueue<Ev>,
@@ -234,6 +235,10 @@ impl ObusSim {
 }
 
 impl NetworkModel for ObusSim {
+    fn snapshot(&self) -> Option<Box<dyn NetworkModel>> {
+        Some(Box::new(self.clone()))
+    }
+
     fn num_nodes(&self) -> usize {
         self.cfg.floorplan.num_nodes()
     }

@@ -182,6 +182,7 @@ enum Ev {
 }
 
 /// Circuit-switched photonic mesh simulator.
+#[derive(Clone, Debug)]
 pub struct OmeshSim {
     cfg: OmeshConfig,
     q: EventQueue<Ev>,
@@ -467,6 +468,10 @@ impl OmeshSim {
 }
 
 impl NetworkModel for OmeshSim {
+    fn snapshot(&self) -> Option<Box<dyn NetworkModel>> {
+        Some(Box::new(self.clone()))
+    }
+
     fn num_nodes(&self) -> usize {
         self.cfg.floorplan.num_nodes()
     }

@@ -57,7 +57,7 @@ impl OxbarConfig {
     }
 }
 
-#[derive(Debug)]
+#[derive(Clone, Debug)]
 struct MsgState {
     msg: Message,
     injected_at: SimTime,
@@ -65,7 +65,7 @@ struct MsgState {
 }
 
 /// Home-channel arbitration state.
-#[derive(Debug)]
+#[derive(Clone, Debug)]
 struct Channel {
     /// When the token was/will be released.
     free_at: SimTime,
@@ -92,6 +92,7 @@ enum Ev {
 }
 
 /// MWSR crossbar simulator.
+#[derive(Clone, Debug)]
 pub struct OxbarSim {
     cfg: OxbarConfig,
     q: EventQueue<Ev>,
@@ -297,6 +298,10 @@ impl OxbarSim {
 }
 
 impl NetworkModel for OxbarSim {
+    fn snapshot(&self) -> Option<Box<dyn NetworkModel>> {
+        Some(Box::new(self.clone()))
+    }
+
     fn num_nodes(&self) -> usize {
         self.nodes as usize
     }

@@ -204,6 +204,11 @@ pub struct Comparison {
     pub improvements: Vec<Delta>,
     /// The two files were measured on different machines.
     pub machine_mismatch: bool,
+    /// Geometric mean of `new/old` median ratios across *all* common
+    /// benches (not just the ones past the threshold): the one-number
+    /// answer to "did this change make the suite faster overall".
+    /// `None` when no common bench has a positive old median.
+    pub geo_mean_ratio: Option<f64>,
 }
 
 /// Compare medians with a relative `threshold` (0.10 = 10%). Benchmarks
@@ -214,6 +219,7 @@ pub fn compare(old: &BenchFile, new: &BenchFile, threshold: f64) -> Comparison {
         machine_mismatch: old.machine != new.machine,
         ..Comparison::default()
     };
+    let (mut ln_sum, mut ln_n) = (0.0f64, 0u32);
     for n in &new.benches {
         match old.benches.iter().find(|o| o.id == n.id) {
             None => cmp.added.push(n.id.clone()),
@@ -223,6 +229,10 @@ pub fn compare(old: &BenchFile, new: &BenchFile, threshold: f64) -> Comparison {
                     continue;
                 }
                 let ratio = n.median_ns / o.median_ns;
+                if ratio > 0.0 && ratio.is_finite() {
+                    ln_sum += ratio.ln();
+                    ln_n += 1;
+                }
                 let d = Delta {
                     id: n.id.clone(),
                     old_ns: o.median_ns,
@@ -244,6 +254,9 @@ pub fn compare(old: &BenchFile, new: &BenchFile, threshold: f64) -> Comparison {
     }
     cmp.regressions.sort_by(|a, b| b.ratio.total_cmp(&a.ratio));
     cmp.improvements.sort_by(|a, b| a.ratio.total_cmp(&b.ratio));
+    if ln_n > 0 {
+        cmp.geo_mean_ratio = Some((ln_sum / ln_n as f64).exp());
+    }
     cmp
 }
 
@@ -321,6 +334,25 @@ mod tests {
         assert_eq!(cmp.added, vec!["new"]);
         assert_eq!(cmp.removed, vec!["gone"]);
         assert!(cmp.regressions.is_empty());
+    }
+
+    #[test]
+    fn geo_mean_covers_all_common_benches() {
+        // 2× slower and 2× faster cancel exactly in the geometric mean;
+        // the sub-threshold "same" bench still participates.
+        let old = file(vec![rec("a", 100.0), rec("b", 100.0), rec("c", 100.0)]);
+        let new = file(vec![rec("a", 200.0), rec("b", 50.0), rec("c", 100.0)]);
+        let g = compare(&old, &new, 0.10).geo_mean_ratio.unwrap();
+        assert!((g - 1.0).abs() < 1e-12, "geo mean {g}");
+        // Uniform 10% slowdown shows up as exactly 1.1.
+        let new = file(vec![rec("a", 110.0), rec("b", 110.0), rec("c", 110.0)]);
+        let g = compare(&old, &new, 0.50).geo_mean_ratio.unwrap();
+        assert!((g - 1.1).abs() < 1e-9, "geo mean {g}");
+        // No common benches → no geo mean.
+        assert_eq!(
+            compare(&old, &file(vec![rec("z", 1.0)]), 0.1).geo_mean_ratio,
+            None
+        );
     }
 
     #[test]

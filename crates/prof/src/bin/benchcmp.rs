@@ -71,6 +71,18 @@ fn run() -> Result<bool, String> {
             if cmp.machine_mismatch {
                 println!("warning: machine fingerprints differ — treating as warn-only");
             }
+            if let Some(g) = cmp.geo_mean_ratio {
+                // Over every common bench, not just the over-threshold
+                // ones: the suite-wide direction of the change.
+                println!(
+                    "benchcmp: geo-mean ratio {:.4} across {} common benches ({}{:.1}% {})",
+                    g,
+                    cmp.common,
+                    if g >= 1.0 { "+" } else { "-" },
+                    (g - 1.0).abs() * 100.0,
+                    if g >= 1.0 { "slower" } else { "faster" },
+                );
+            }
             for d in &cmp.improvements {
                 println!(
                     "  improved  {:<40} {:>12.1} ns -> {:>12.1} ns  ({:+.1}%)",

@@ -146,6 +146,7 @@ pub fn error_kind(err: &SctmError) -> &'static str {
         SctmError::UnknownKernel(_) => "unknown-kernel",
         SctmError::UnknownNetwork(_) => "unknown-network",
         SctmError::Trace(_) => "trace",
+        SctmError::BudgetExhausted { .. } => "budget-exhausted",
     }
 }
 

@@ -19,16 +19,18 @@
 //! * [`persist`] — save/load traces as self-describing CSV, so one
 //!   expensive capture can be replayed everywhere.
 
+pub mod incr;
 pub mod log;
 pub mod online;
 pub mod persist;
 pub mod replay;
 
+pub use incr::{IncrPassStats, IncrReplayer, PassKind};
 pub use log::{Capture, TraceLog, TraceRecord};
 pub use online::{OnlineCorrected, ShadowFactory};
 pub use persist::TraceError;
 pub use replay::{
-    pair_corrections, replay_fixed, replay_fixed_with, replay_oracle, replay_oracle_with,
-    replay_sctm_pass, replay_sctm_pass_ordered, replay_sctm_pass_ordered_with,
+    pair_corrections, replay_fixed, replay_fixed_budgeted, replay_fixed_with, replay_oracle,
+    replay_oracle_with, replay_sctm_pass, replay_sctm_pass_ordered, replay_sctm_pass_ordered_with,
     replay_sctm_pass_with, ReplayResult, ReplayScratch,
 };

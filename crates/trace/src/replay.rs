@@ -34,7 +34,7 @@ use std::cmp::Reverse;
 use std::collections::BinaryHeap;
 
 /// Sentinel for "no predecessor/successor" in the dense index chains.
-const NONE: u32 = u32::MAX;
+pub(crate) const NONE: u32 = u32::MAX;
 
 /// Outcome of one replay pass.
 #[derive(Clone, Debug)]
@@ -49,7 +49,7 @@ pub struct ReplayResult {
 }
 
 impl ReplayResult {
-    fn from_times(log: &TraceLog, inject: Vec<SimTime>, deliver: Vec<SimTime>) -> Self {
+    pub(crate) fn from_times(log: &TraceLog, inject: Vec<SimTime>, deliver: Vec<SimTime>) -> Self {
         let tail = log.capture_exec_time.saturating_since(log.last_delivery());
         let last = deliver.iter().copied().max().unwrap_or(SimTime::ZERO);
         ReplayResult {
@@ -91,7 +91,7 @@ pub struct ReplayScratch {
     /// (a permutation of `0..n`, validated before reuse).
     order: Vec<u32>,
     /// Capture-anchored local think time per message.
-    delta: Vec<SimTime>,
+    pub(crate) delta: Vec<SimTime>,
     /// Oracle: max dependency delivery seen so far, per message.
     ready_at: Vec<SimTime>,
     /// Oracle: undelivered dependency count, per message.
@@ -101,27 +101,27 @@ pub struct ReplayScratch {
     // gated departures for the gated pass). Replaces a `Vec<Vec<u32>>`
     // whose n inner vectors dominated per-pass allocation.
     adj_cnt: Vec<u32>,
-    adj_off: Vec<u32>,
-    adj: Vec<u32>,
+    pub(crate) adj_off: Vec<u32>,
+    pub(crate) adj: Vec<u32>,
     /// Record indices sorted by `(t_inject, i)` (per-source chain build).
     idx: Vec<u32>,
     /// Most recent message per source node during the chain build.
     src_last: Vec<u32>,
     /// Per-source predecessor / successor chains ([`NONE`]-terminated).
-    prev_in_order: Vec<u32>,
-    next_in_order: Vec<u32>,
+    pub(crate) prev_in_order: Vec<u32>,
+    pub(crate) next_in_order: Vec<u32>,
     // Gated-pass readiness state.
-    gate_done: Vec<bool>,
-    gate_time: Vec<SimTime>,
-    prev_done: Vec<bool>,
-    prev_time: Vec<SimTime>,
-    scheduled: Vec<bool>,
+    pub(crate) gate_done: Vec<bool>,
+    pub(crate) gate_time: Vec<SimTime>,
+    pub(crate) prev_done: Vec<bool>,
+    pub(crate) prev_time: Vec<SimTime>,
+    pub(crate) scheduled: Vec<bool>,
     /// Pending injections whose time is already known.
-    heap: BinaryHeap<Reverse<(SimTime, u32)>>,
+    pub(crate) heap: BinaryHeap<Reverse<(SimTime, u32)>>,
     /// Delivery drain buffer.
-    buf: Vec<Delivery>,
+    pub(crate) buf: Vec<Delivery>,
     // Arrival-gating scratch (see `TraceLog::arrival_gates_into`).
-    gates: Vec<Option<MsgId>>,
+    pub(crate) gates: Vec<Option<MsgId>>,
     events: Vec<(SimTime, u32)>,
     last_arrival: Vec<Option<MsgId>>,
 }
@@ -195,20 +195,19 @@ impl ReplayScratch {
     }
 }
 
-/// Run all messages through `net` at the given injection times.
-fn simulate(
+/// Inject all messages into `net` at the given times, in time order (so
+/// `inject`'s internal clamping never fires). The canonical order under
+/// the total key `(inject[i], i)` is unique, so the cached order is
+/// reusable iff it is a strictly ascending permutation under that key —
+/// an O(n) check that hits every fixed-replay iteration after the first
+/// (same trace, same times).
+fn inject_all(
     log: &TraceLog,
     net: &mut dyn NetworkModel,
     inject: &[SimTime],
     scratch: &mut ReplayScratch,
-) -> Vec<SimTime> {
-    assert_eq!(inject.len(), log.len());
+) {
     let n = log.len();
-    // Inject in time order so `inject`'s internal clamping never fires.
-    // The canonical order under the total key `(inject[i], i)` is unique,
-    // so the cached order is reusable iff it is a strictly ascending
-    // permutation under that key — an O(n) check that hits every
-    // fixed-replay iteration after the first (same trace, same times).
     let cached = scratch.order.len() == n
         && scratch.order.iter().all(|&i| (i as usize) < n)
         && scratch
@@ -226,6 +225,18 @@ fn simulate(
     for &i in &scratch.order {
         net.inject(inject[i as usize], log.records[i as usize].msg);
     }
+}
+
+/// Run all messages through `net` at the given injection times.
+fn simulate(
+    log: &TraceLog,
+    net: &mut dyn NetworkModel,
+    inject: &[SimTime],
+    scratch: &mut ReplayScratch,
+) -> Vec<SimTime> {
+    assert_eq!(inject.len(), log.len());
+    let n = log.len();
+    inject_all(log, net, inject, scratch);
     let mut deliver = vec![SimTime::ZERO; n];
     scratch.buf.clear();
     scratch.buf.reserve(n);
@@ -251,6 +262,56 @@ pub fn replay_fixed_with(
     let inject: Vec<SimTime> = log.records.iter().map(|r| r.t_inject).collect();
     let deliver = simulate(log, net, &inject, scratch);
     ReplayResult::from_times(log, inject, deliver)
+}
+
+/// [`replay_fixed`] with a hard budget on network advancement steps
+/// (distinct event timestamps processed during the drain).
+///
+/// Classic replay is open-loop: injection times are the capture's, so a
+/// detailed target past its saturation point receives traffic faster
+/// than it can drain it and the replay timeline expands — in the worst
+/// case by orders of magnitude, each simulated instant costing real
+/// work. The budget turns that pathology into a typed result: healthy
+/// replays process a small constant number of timestamps per message,
+/// so a budget of, say, `200 × log.len()` never fires on a network
+/// operating below saturation while still bounding a collapsed one.
+///
+/// `Err(spent)` reports the budget consumed before giving up; the run
+/// is deterministic, so the same inputs always trip at the same step.
+pub fn replay_fixed_budgeted(
+    log: &TraceLog,
+    net: &mut dyn NetworkModel,
+    scratch: &mut ReplayScratch,
+    budget: u64,
+) -> Result<ReplayResult, u64> {
+    let n = log.len();
+    let inject: Vec<SimTime> = log.records.iter().map(|r| r.t_inject).collect();
+    inject_all(log, net, &inject, scratch);
+    let mut deliver = vec![SimTime::ZERO; n];
+    let mut got = 0usize;
+    let mut spent = 0u64;
+    let mut buf = std::mem::take(&mut scratch.buf);
+    while got < n {
+        let Some(t) = net.next_time() else {
+            panic!(
+                "replay lost messages: network quiescent with {} undelivered",
+                n - got
+            );
+        };
+        if spent >= budget {
+            scratch.buf = buf;
+            return Err(spent);
+        }
+        spent += 1;
+        buf.clear();
+        net.advance_until(t, &mut buf);
+        for d in buf.drain(..) {
+            deliver[d.msg.id.0 as usize] = d.delivered_at;
+            got += 1;
+        }
+    }
+    scratch.buf = buf;
+    Ok(ReplayResult::from_times(log, inject, deliver))
 }
 
 /// Full-causality event-driven replay (accuracy ceiling).
@@ -313,11 +374,17 @@ pub fn replay_oracle_with(
                 }
             }
         }
-        let t = net
-            .next_time()
-            .expect("replay deadlocked: messages undelivered but nothing pending");
+        // Advance in whole-timestamp batches until something delivers or
+        // the earliest pending injection comes due; `advance_batches`
+        // keeps the exact per-batch semantics of the old caller-side
+        // loop while crossing the trait boundary once per stop instead
+        // of twice per event round.
+        let stop = scratch.heap.peek().map(|&Reverse((t, _))| t);
         buf.clear();
-        net.advance_until(t, &mut buf);
+        let nt = net.advance_batches(stop, &mut buf);
+        if buf.is_empty() && nt.is_none() && scratch.heap.is_empty() {
+            panic!("replay deadlocked: messages undelivered but nothing pending");
+        }
         for d in buf.drain(..) {
             let id = d.msg.id.0 as usize;
             deliver[id] = d.delivered_at;
@@ -385,14 +452,17 @@ pub fn replay_sctm_pass_ordered_with(
     gated_pass_with(log, net, true, scratch)
 }
 
-/// The gated event-driven pass; gates are recomputed into (and the
-/// working set borrowed from) `scratch`.
-fn gated_pass_with(
+/// Build the complete gated-pass working set for `log` into `scratch`:
+/// arrival gates, per-source chains, capture-anchored deltas, the
+/// gate→dependants CSR, the readiness arrays, and the seeded injection
+/// heap. After this returns, `scratch` holds exactly the initial state
+/// of a gated pass — shared by [`gated_pass_with`] and the incremental
+/// engine in [`crate::incr`], which must agree on it bit for bit.
+pub(crate) fn prepare_gated(
     log: &TraceLog,
-    net: &mut dyn NetworkModel,
     enforce_source_order: bool,
     scratch: &mut ReplayScratch,
-) -> ReplayResult {
+) {
     let n = log.len();
     // Arrival gating, into the scratch buffers (temporarily moved out so
     // the rest of the scratch stays borrowable).
@@ -453,8 +523,6 @@ fn gated_pass_with(
         }
     }
 
-    let mut inject = vec![SimTime::MAX; n];
-    let mut deliver = vec![SimTime::ZERO; n];
     scratch.scheduled.clear();
     scratch.scheduled.resize(n, false);
     scratch.heap.clear();
@@ -466,7 +534,21 @@ fn gated_pass_with(
             scratch.heap.push(Reverse((scratch.delta[i], i as u32)));
         }
     }
+    scratch.gates = gates;
+}
 
+/// The gated event-driven pass; gates are recomputed into (and the
+/// working set borrowed from) `scratch`.
+fn gated_pass_with(
+    log: &TraceLog,
+    net: &mut dyn NetworkModel,
+    enforce_source_order: bool,
+    scratch: &mut ReplayScratch,
+) -> ReplayResult {
+    let n = log.len();
+    prepare_gated(log, enforce_source_order, scratch);
+    let mut inject = vec![SimTime::MAX; n];
+    let mut deliver = vec![SimTime::ZERO; n];
     let mut delivered = 0usize;
     let mut buf = std::mem::take(&mut scratch.buf);
     while delivered < n {
@@ -486,7 +568,7 @@ fn gated_pass_with(
                         scratch.prev_done[nx] = true;
                         scratch.prev_time[nx] = t;
                         if scratch.gate_done[nx] && !scratch.scheduled[nx] {
-                            let base = if gates[nx].is_some() {
+                            let base = if scratch.gates[nx].is_some() {
                                 scratch.gate_time[nx]
                             } else {
                                 scratch.prev_time[nx]
@@ -499,11 +581,14 @@ fn gated_pass_with(
                 }
             }
         }
-        let t = net
-            .next_time()
-            .expect("gated replay deadlocked: undelivered messages but nothing pending");
+        // See `replay_oracle_with`: batch-advance to the next delivery
+        // or pending-injection time with one trait crossing.
+        let stop = scratch.heap.peek().map(|&Reverse((t, _))| t);
         buf.clear();
-        net.advance_until(t, &mut buf);
+        let nt = net.advance_batches(stop, &mut buf);
+        if buf.is_empty() && nt.is_none() && scratch.heap.is_empty() {
+            panic!("gated replay deadlocked: undelivered messages but nothing pending");
+        }
         for d in buf.drain(..) {
             let id = d.msg.id.0 as usize;
             deliver[id] = d.delivered_at;
@@ -521,7 +606,6 @@ fn gated_pass_with(
         }
     }
     scratch.buf = buf;
-    scratch.gates = gates;
     ReplayResult::from_times(log, inject, deliver)
 }
 

@@ -1,0 +1,79 @@
+//! §P5 regression guard: open-loop classic replay on a detailed
+//! optical model driven past its saturation point must stay bounded.
+//!
+//! Classic trace replay injects at capture timestamps regardless of
+//! what the target can drain — on a shared-medium optical design
+//! (obus: one wavelength-arbitrated bus) a burst-heavy workload can
+//! push the replay timeline into congestion collapse, where every
+//! simulated instant costs real work and the run takes effectively
+//! forever. The `replay_batch_budget` knob turns that into a typed
+//! [`SctmError::BudgetExhausted`]. This test pins the contract both
+//! ways: with a *generous* budget the run either completes or returns
+//! the typed error — it may not panic and may not hang (a test-side
+//! watchdog enforces wall-clock sanity, since a stalled simulator
+//! would otherwise stall CI with it).
+
+use sctm::prelude::*;
+use std::sync::mpsc;
+use std::time::Duration;
+
+/// A deliberately hostile setup for open-loop replay: all-to-all
+/// burst traffic captured on the fast analytic model, replayed on the
+/// serialising optical bus.
+fn saturated() -> (Experiment, TraceLog) {
+    let e = Experiment::new(SystemConfig::new(8, NetworkKind::Obus), Kernel::Canneal).with_ops(400);
+    let log = e.capture();
+    (e, log)
+}
+
+#[test]
+fn saturated_replay_completes_or_errors_within_budget() {
+    // Generous: healthy replays process a handful of event timestamps
+    // per message; 200× that is far beyond anything but collapse.
+    let (tx, rx) = mpsc::channel();
+    let watched = std::thread::spawn(move || {
+        let (e, log) = saturated();
+        let budget = 200 * log.len() as u64;
+        let spec = RunSpec::classic().with_replay_budget(budget);
+        let out = e.execute_seeded(&spec, Some(&log));
+        let verdict = match out {
+            Ok(r) => {
+                assert!(r.report.exec_time > sctm::engine::SimTime::ZERO);
+                format!("completed: est {:?}", r.report.exec_time)
+            }
+            Err(SctmError::BudgetExhausted { batches }) => {
+                assert_eq!(batches, budget);
+                format!("typed budget error after {batches} batches")
+            }
+            Err(other) => panic!("unexpected error: {other}"),
+        };
+        let _ = tx.send(verdict);
+    });
+    // Watchdog: either outcome above is acceptable, silence is not.
+    match rx.recv_timeout(Duration::from_secs(180)) {
+        Ok(verdict) => {
+            watched.join().expect("replay thread panicked");
+            eprintln!("congestion-collapse guard: {verdict}");
+        }
+        Err(_) => panic!(
+            "saturated classic replay neither finished nor returned a typed \
+             error within 180s — congestion collapse is unbounded again"
+        ),
+    }
+}
+
+#[test]
+fn budget_errors_are_deterministic() {
+    // The same starved budget must trip at the same point every time,
+    // and an unbudgeted healthy run must be unaffected by a budget
+    // large enough to never fire.
+    let (e, log) = saturated();
+    let starved = RunSpec::classic().with_replay_budget(3);
+    let a = e.execute_seeded(&starved, Some(&log)).unwrap_err();
+    let b = e.execute_seeded(&starved, Some(&log)).unwrap_err();
+    assert_eq!(a, b);
+    assert!(
+        matches!(a, SctmError::BudgetExhausted { batches: 3 }),
+        "{a}"
+    );
+}

@@ -1,0 +1,117 @@
+//! Bit-identity contract of incremental self-correction replay (PR6
+//! tentpole): with dirty-frontier checkpoints on, every `RunReport` —
+//! execution time, message counts, float bits of the latency means,
+//! per-iteration stats — must equal the from-scratch loop exactly, at
+//! every workload, detailed model, capture thread count and damping
+//! setting. Incremental replay is a pure wall-time optimisation; any
+//! observable difference is a bug.
+//!
+//! The capture thread count is deliberately left on its `SCTM_THREADS`
+//! default in most tests so the CI matrix ({1, 4, 8}) sweeps it, and
+//! pinned explicitly in the thread-sweep test.
+
+use sctm::prelude::*;
+
+fn exp(kind: NetworkKind, kernel: Kernel) -> Experiment {
+    Experiment::new(SystemConfig::new(4, kind), kernel).with_ops(160)
+}
+
+fn fingerprint(r: &RunReport) -> String {
+    format!(
+        "mode={} net={} wl={} exec={:?} ctrl={:?} data={:?} msgs={} iters={:?}",
+        r.mode,
+        r.network,
+        r.workload,
+        r.exec_time,
+        r.mean_lat_ctrl_ns.to_bits(),
+        r.mean_lat_data_ns.to_bits(),
+        r.messages,
+        r.iterations,
+    )
+}
+
+/// The same experiment with incremental replay on and off; both reports
+/// must be indistinguishable.
+fn assert_identical(e: &Experiment, spec: &RunSpec, ctx: &str) {
+    let on = e
+        .execute(&spec.clone().with_incremental(true))
+        .expect("valid spec")
+        .report;
+    let off = e
+        .execute(&spec.clone().with_incremental(false))
+        .expect("valid spec")
+        .report;
+    assert_eq!(
+        fingerprint(&on),
+        fingerprint(&off),
+        "{ctx}: incremental replay diverged from full replay"
+    );
+}
+
+#[test]
+fn identical_on_every_detailed_model_and_damping() {
+    for kind in NetworkKind::DETAILED {
+        for damping in [1.0, 0.0] {
+            let spec = RunSpec::self_correction(3)
+                .with_damping(damping)
+                .with_factor_epsilon(0.0);
+            assert_identical(
+                &exp(kind, Kernel::Fft),
+                &spec,
+                &format!("{} damping={damping}", kind.label()),
+            );
+        }
+    }
+}
+
+#[test]
+fn identical_on_every_workload() {
+    for kernel in [
+        Kernel::Fft,
+        Kernel::Lu,
+        Kernel::Barnes,
+        Kernel::Streamcluster,
+    ] {
+        let spec = RunSpec::self_correction(4).with_damping(0.6);
+        assert_identical(&exp(NetworkKind::Omesh, kernel), &spec, kernel.label());
+    }
+}
+
+#[test]
+fn identical_at_every_capture_thread_count() {
+    // Two invariants at once: incremental == full at each thread count,
+    // and the incremental report itself is thread-count-invariant.
+    let spec = RunSpec::self_correction(3);
+    let mut first: Option<String> = None;
+    for threads in [1, 2, 4, 8] {
+        let e = exp(NetworkKind::Omesh, Kernel::Fft).with_capture_threads(threads);
+        assert_identical(&e, &spec, &format!("threads={threads}"));
+        let on = e
+            .execute(&spec.clone().with_incremental(true))
+            .expect("valid spec")
+            .report;
+        let fp = fingerprint(&on);
+        match &first {
+            None => first = Some(fp),
+            Some(f) => assert_eq!(f, &fp, "incremental diverged at {threads} threads"),
+        }
+    }
+}
+
+#[test]
+fn identical_when_seeded_and_at_higher_iteration_caps() {
+    let e = exp(NetworkKind::Omesh, Kernel::Fft);
+    let log = e.capture();
+    for iters in [1, 2, 6] {
+        let spec = RunSpec::self_correction(iters).with_factor_epsilon(0.0);
+        let on = e
+            .execute_seeded(&spec.clone().with_incremental(true), Some(&log))
+            .expect("valid spec")
+            .report;
+        let off = e
+            .execute_seeded(&spec.with_incremental(false), Some(&log))
+            .expect("valid spec")
+            .report;
+        assert_eq!(fingerprint(&on), fingerprint(&off), "iters={iters}");
+    }
+}

@@ -34,6 +34,11 @@ pub enum SctmError {
     /// ([`crate::RunSpec::with_replay_budget`]). Carries the budget
     /// that was spent.
     BudgetExhausted { batches: u64 },
+    /// A host I/O failure around the simulation proper (request log,
+    /// socket plumbing in `sctmd`). Carries the OS error text —
+    /// `std::io::Error` itself is neither `Clone` nor `PartialEq`,
+    /// which this enum is.
+    Io(String),
 }
 
 impl std::fmt::Display for SctmError {
@@ -49,6 +54,7 @@ impl std::fmt::Display for SctmError {
                 "replay exhausted its batch budget ({batches} batches) before all \
                  messages delivered — the network is past its saturation point"
             ),
+            SctmError::Io(e) => write!(f, "i/o: {e}"),
         }
     }
 }
@@ -74,7 +80,7 @@ mod tests {
 
     #[test]
     fn displays_are_specific() {
-        let cases: [(SctmError, &str); 6] = [
+        let cases: [(SctmError, &str); 7] = [
             (SctmError::InvalidSpec("x".into()), "invalid run spec"),
             (
                 SctmError::InvalidConfig("y".into()),
@@ -87,6 +93,7 @@ mod tests {
                 SctmError::BudgetExhausted { batches: 10_000 },
                 "batch budget",
             ),
+            (SctmError::Io("disk full".into()), "i/o"),
         ];
         for (e, needle) in cases {
             assert!(e.to_string().contains(needle), "{e}");

@@ -468,7 +468,7 @@ impl Experiment {
                                     },
                                     1,
                                 );
-                                reg.counter_add("sctm.incr.frontier", pass.dirty);
+                                reg.counter_add("sctm.incr.dirty_messages", pass.dirty);
                                 reg.counter_add("sctm.incr.epochs_restored", pass.epochs_restored);
                                 reg.counter_add("sctm.incr.epochs_replayed", pass.epochs_replayed);
                                 reg.gauge_set(

@@ -277,6 +277,37 @@ impl Histogram {
         self.max
     }
 
+    /// Upper edge (inclusive) of the bucket with the given flat index:
+    /// the largest value the bucket can hold.
+    fn bucket_high(idx: usize) -> u64 {
+        if idx + 1 < GROUPS * SUB {
+            Self::bucket_low(idx + 1) - 1
+        } else {
+            u64::MAX
+        }
+    }
+
+    /// Number of recorded samples **guaranteed** to be ≤ `v`: the sum of
+    /// every bucket whose entire range lies at or below `v`. Bucketed,
+    /// so it undercounts by at most one bucket's population (≤ 12.5%
+    /// relative width) when `v` falls inside a bucket; it is monotone in
+    /// `v` and `count_le(u64::MAX) == count()`, which is exactly what a
+    /// cumulative (Prometheus-style) bucket export needs.
+    pub fn count_le(&self, v: u64) -> u64 {
+        let mut n = 0;
+        for (i, &c) in self.buckets.iter().enumerate() {
+            if c > 0 && Self::bucket_high(i) <= v {
+                n += c;
+            }
+        }
+        n
+    }
+
+    /// Sum of all recorded samples (exact, not bucketed).
+    pub fn sum(&self) -> u128 {
+        self.sum
+    }
+
     pub fn p50(&self) -> u64 {
         self.quantile(0.50)
     }
@@ -448,6 +479,40 @@ mod tests {
             last = idx;
             v = v + v / 16 + 1;
         }
+    }
+
+    #[test]
+    fn count_le_is_monotone_cumulative_and_complete() {
+        let mut h = Histogram::new();
+        for v in 1..=10_000u64 {
+            h.record(v);
+        }
+        // Monotone over increasing thresholds, complete at the top.
+        let mut last = 0;
+        for exp in 0..12u32 {
+            let v = 10u64.pow(exp);
+            let n = h.count_le(v);
+            assert!(n >= last, "count_le not monotone at {v}");
+            // Never overcounts: every counted sample really is ≤ v.
+            assert!(n <= v.min(10_000), "count_le({v}) = {n} overcounts");
+            last = n;
+        }
+        assert_eq!(h.count_le(u64::MAX), h.count());
+        assert_eq!(h.count_le(0), 0);
+        // Small values are exact (group-0 buckets hold single values).
+        assert_eq!(h.count_le(5), 5);
+        // Undercount is bounded by one bucket (12.5% relative width).
+        let n = h.count_le(8_000);
+        assert!(n as f64 >= 8_000.0 * 0.85, "count_le(8000) = {n}");
+    }
+
+    #[test]
+    fn histogram_sum_is_exact() {
+        let mut h = Histogram::new();
+        for v in [1u64, 10, 100, u64::MAX] {
+            h.record(v);
+        }
+        assert_eq!(h.sum(), 111u128 + u64::MAX as u128);
     }
 
     #[test]

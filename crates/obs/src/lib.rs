@@ -21,7 +21,9 @@
 
 mod export;
 mod registry;
+pub mod reqlog;
 mod series;
+pub mod svc;
 mod tracer;
 
 pub use export::{

@@ -260,6 +260,55 @@ pub fn compare(old: &BenchFile, new: &BenchFile, threshold: f64) -> Comparison {
     cmp
 }
 
+/// Outcome of a within-file median ratio check (`benchcmp ratio`).
+#[derive(Clone, Debug, PartialEq)]
+pub struct RatioCheck {
+    pub num_ns: f64,
+    pub den_ns: f64,
+    /// `num / den` of the two medians.
+    pub ratio: f64,
+    pub max: f64,
+}
+
+impl RatioCheck {
+    pub fn passed(&self) -> bool {
+        self.ratio <= self.max
+    }
+}
+
+/// Gate the ratio of two medians *within one file*: `num_id / den_id`
+/// must not exceed `max`. This is how relative-overhead budgets (e.g.
+/// "stats polling costs ≤2%") are enforced without a baseline file —
+/// both numbers come from the same machine and run, so no fingerprint
+/// escape hatch applies.
+pub fn ratio_check(
+    file: &BenchFile,
+    num_id: &str,
+    den_id: &str,
+    max: f64,
+) -> Result<RatioCheck, String> {
+    let median = |id: &str| {
+        file.benches
+            .iter()
+            .find(|b| b.id == id)
+            .map(|b| b.median_ns)
+            .ok_or_else(|| format!("bench id '{id}' not in file"))
+    };
+    let num_ns = median(num_id)?;
+    let den_ns = median(den_id)?;
+    if den_ns <= 0.0 {
+        return Err(format!(
+            "denominator '{den_id}' has non-positive median {den_ns}"
+        ));
+    }
+    Ok(RatioCheck {
+        num_ns,
+        den_ns,
+        ratio: num_ns / den_ns,
+        max,
+    })
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -372,6 +421,19 @@ mod tests {
         assert!(
             BenchFile::merge(vec![file(vec![rec("a", 1.0)]), file(vec![rec("a", 2.0)])]).is_err()
         );
+    }
+
+    #[test]
+    fn ratio_check_gates_within_one_file() {
+        let f = file(vec![rec("grp/polled", 102.0), rec("grp/quiet", 100.0)]);
+        let ok = ratio_check(&f, "grp/polled", "grp/quiet", 1.02).unwrap();
+        assert!(ok.passed(), "ratio {} should pass at 1.02", ok.ratio);
+        let bad = ratio_check(&f, "grp/polled", "grp/quiet", 1.01).unwrap();
+        assert!(!bad.passed());
+        assert!((bad.ratio - 1.02).abs() < 1e-9);
+        assert!(ratio_check(&f, "missing", "grp/quiet", 1.0).is_err());
+        let zero = file(vec![rec("a", 1.0), rec("b", 0.0)]);
+        assert!(ratio_check(&zero, "a", "b", 1.0).is_err());
     }
 
     #[test]

@@ -3,6 +3,7 @@
 //! ```text
 //! benchcmp diff OLD.json NEW.json [--threshold 0.15] [--warn-only]
 //! benchcmp merge OUT.json IN.json [IN2.json ...]
+//! benchcmp ratio FILE.json NUM_ID DEN_ID --max 1.02
 //! ```
 //!
 //! `diff` exits 0 when no benchmark's median regressed beyond the
@@ -10,8 +11,13 @@
 //! with `--warn-only`, for noisy shared runners), 2 on usage or parse
 //! errors. A machine-fingerprint mismatch between the two files is
 //! always warn-only: numbers from different hardware cannot gate.
+//!
+//! `ratio` gates two medians from the *same* file (so no fingerprint
+//! escape hatch): exits 0 when `NUM_ID / DEN_ID <= max`, 1 otherwise.
+//! CI uses it to hold the telemetry-polling overhead of the service
+//! under its 2% budget.
 
-use sctm_prof::benchjson::{compare, BenchFile};
+use sctm_prof::benchjson::{compare, ratio_check, BenchFile};
 use std::process::ExitCode;
 
 fn load(path: &str) -> Result<BenchFile, String> {
@@ -115,8 +121,45 @@ fn run() -> Result<bool, String> {
                 Ok(false)
             }
         }
+        Some("ratio") => {
+            let path = args.get(1).ok_or("ratio: missing FILE path")?;
+            let num_id = args.get(2).ok_or("ratio: missing NUM_ID")?;
+            let den_id = args.get(3).ok_or("ratio: missing DEN_ID")?;
+            let mut max = None;
+            let mut i = 4;
+            while i < args.len() {
+                match args[i].as_str() {
+                    "--max" => {
+                        max = Some(
+                            args.get(i + 1)
+                                .and_then(|v| v.parse().ok())
+                                .ok_or("--max needs a number")?,
+                        );
+                        i += 2;
+                    }
+                    other => return Err(format!("unknown flag '{other}'")),
+                }
+            }
+            let max: f64 = max.ok_or("ratio: --max is required")?;
+            let file = load(path)?;
+            let r = ratio_check(&file, num_id, den_id, max)?;
+            println!(
+                "benchcmp: {num_id} / {den_id} = {:.1} ns / {:.1} ns = {:.4} (max {:.4})",
+                r.num_ns, r.den_ns, r.ratio, r.max
+            );
+            if r.passed() {
+                println!("benchcmp: ratio within budget");
+                Ok(true)
+            } else {
+                println!(
+                    "benchcmp: ratio EXCEEDS budget by {:.1}%",
+                    (r.ratio - r.max) * 100.0
+                );
+                Ok(false)
+            }
+        }
         _ => Err(
-            "usage: benchcmp diff OLD NEW [--threshold F] [--warn-only] | benchcmp merge OUT IN..."
+            "usage: benchcmp diff OLD NEW [--threshold F] [--warn-only] | benchcmp merge OUT IN... | benchcmp ratio FILE NUM_ID DEN_ID --max F"
                 .into(),
         ),
     }

@@ -4,15 +4,52 @@
 //! sctmd --stdin                      # serve requests from stdin (CI mode)
 //! sctmd --listen 127.0.0.1:4710     # serve the line protocol over TCP
 //! sctmd --stdin --cache-mb 64 --queue 32 --timeout-ms 10000
+//! sctmd --listen 127.0.0.1:4710 --log-dir /var/log/sctmd
 //! ```
 //!
 //! One request per line, one JSON response line per request; see
-//! `DESIGN.md` §10 and the README quickstart for the protocol.
+//! `DESIGN.md` §10–12 and the README quickstart for the protocol.
+//!
+//! Diagnostics are structured: every daemon-level event is one JSON
+//! line on stderr (`{"ts_ms":…,"event":…}`), and with `--log-dir DIR`
+//! (or the `SCTM_LOG` environment variable, mirroring `SCTM_OBS`
+//! conventions) per-request lifecycle records are appended to
+//! `DIR/sctmd.log.jsonl` with size-based rotation.
 
+use sctm_obs::json_escape;
+use sctm_obs::reqlog::{json_line, RequestLog};
 use sctm_srv::{serve_lines, serve_tcp, Server, ServerConfig};
+use std::sync::Arc;
+
+/// One structured daemon event on stderr: `{"ts_ms":…,"event":"…",…}`.
+fn log_stderr(event: &str, extra: &[(&str, String)]) {
+    let ts = std::time::SystemTime::now()
+        .duration_since(std::time::SystemTime::UNIX_EPOCH)
+        .map(|d| d.as_millis())
+        .unwrap_or(0);
+    let mut fields: Vec<(&str, String)> = vec![
+        ("ts_ms", ts.to_string()),
+        ("event", format!("\"{}\"", json_escape(event))),
+    ];
+    fields.extend(extra.iter().map(|(k, v)| (*k, v.clone())));
+    eprintln!("{}", json_line(&fields));
+}
+
+fn quoted(s: &str) -> String {
+    format!("\"{}\"", json_escape(s))
+}
 
 fn usage() -> ! {
-    eprintln!("usage: sctmd (--stdin | --listen ADDR) [--cache-mb N] [--queue N] [--timeout-ms N]");
+    log_stderr(
+        "usage",
+        &[(
+            "message",
+            quoted(
+                "sctmd (--stdin | --listen ADDR) [--cache-mb N] [--queue N] \
+                 [--timeout-ms N] [--log-dir DIR]",
+            ),
+        )],
+    );
     std::process::exit(2);
 }
 
@@ -20,6 +57,9 @@ fn main() {
     let args: Vec<String> = std::env::args().skip(1).collect();
     let mut stdin_mode = false;
     let mut listen: Option<String> = None;
+    let mut log_dir: Option<String> = std::env::var("SCTM_LOG")
+        .ok()
+        .filter(|v| !matches!(v.as_str(), "" | "0" | "false" | "off"));
     let mut cfg = ServerConfig::default();
 
     let mut i = 0;
@@ -39,6 +79,10 @@ fn main() {
             "--cache-mb" => cfg.cache_bytes = (num(&args, &mut i) as usize) << 20,
             "--queue" => cfg.queue_cap = num(&args, &mut i) as usize,
             "--timeout-ms" => cfg.default_timeout_ms = num(&args, &mut i),
+            "--log-dir" => {
+                i += 1;
+                log_dir = Some(args.get(i).cloned().unwrap_or_else(|| usage()));
+            }
             _ => usage(),
         }
         i += 1;
@@ -47,27 +91,53 @@ fn main() {
         usage(); // exactly one front-end
     }
 
-    let server = Server::start(cfg);
+    let log = log_dir.map(|dir| match RequestLog::create(std::path::Path::new(&dir)) {
+        Ok(log) => {
+            log_stderr(
+                "request-log",
+                &[("path", quoted(&log.path().display().to_string()))],
+            );
+            Arc::new(log)
+        }
+        Err(e) => {
+            log_stderr(
+                "error",
+                &[
+                    ("message", quoted(&format!("cannot open request log: {e}"))),
+                    ("dir", quoted(&dir)),
+                ],
+            );
+            std::process::exit(1);
+        }
+    });
+
+    let server = Server::start_logged(cfg, log);
     if stdin_mode {
         let stdin = std::io::stdin();
         let mut stdout = std::io::stdout().lock();
         let res = serve_lines(stdin.lock(), &mut stdout, &server);
         server.drain();
         if let Err(e) = res {
-            eprintln!("sctmd: {e}");
+            log_stderr("error", &[("message", quoted(&e.to_string()))]);
             std::process::exit(1);
         }
     } else if let Some(addr) = listen {
         let listener = match std::net::TcpListener::bind(&addr) {
             Ok(l) => l,
             Err(e) => {
-                eprintln!("sctmd: cannot bind {addr}: {e}");
+                log_stderr(
+                    "error",
+                    &[
+                        ("message", quoted(&format!("cannot bind: {e}"))),
+                        ("addr", quoted(&addr)),
+                    ],
+                );
                 std::process::exit(1);
             }
         };
-        eprintln!("sctmd: listening on {addr}");
+        log_stderr("listening", &[("addr", quoted(&addr))]);
         if let Err(e) = serve_tcp(listener, server) {
-            eprintln!("sctmd: {e}");
+            log_stderr("error", &[("message", quoted(&e.to_string()))]);
             std::process::exit(1);
         }
     }

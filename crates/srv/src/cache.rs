@@ -50,6 +50,10 @@ pub struct CacheStats {
     pub hits: u64,
     pub misses: u64,
     pub evictions: u64,
+    /// Callers that blocked on another request's in-flight capture
+    /// (counted once per blocked caller, however many wakeups its
+    /// `Condvar` wait takes).
+    pub single_flight_waits: u64,
     pub entries: u64,
     pub bytes: u64,
 }
@@ -137,6 +141,7 @@ impl CaptureCache {
         F: FnOnce() -> TraceLog,
     {
         let mut inner = lock(&self.inner);
+        let mut waited = false;
         loop {
             inner.clock += 1;
             let now = inner.clock;
@@ -148,6 +153,10 @@ impl CaptureCache {
                     return (log, true);
                 }
                 Some(Slot::Pending) => {
+                    if !waited {
+                        waited = true;
+                        inner.stats.single_flight_waits += 1;
+                    }
                     inner = self.ready.wait(inner).unwrap_or_else(|e| e.into_inner());
                 }
                 None => break,
@@ -305,6 +314,9 @@ mod tests {
         let s = cache.stats();
         assert_eq!(s.misses, 1);
         assert_eq!(s.hits, 7);
+        // Each of the 7 blocked callers counts one single-flight wait,
+        // at most — late arrivals that found the slot Ready count none.
+        assert!(s.single_flight_waits <= 7, "{s:?}");
     }
 
     #[test]

@@ -6,6 +6,7 @@
 //! ```text
 //! run kernel=fft net=omesh side=4 ops=600 seed=1 mode=sctm iters=4 id=r1
 //! stats
+//! metrics
 //! ping
 //! shutdown
 //! ```
@@ -39,7 +40,11 @@ pub struct RunRequest {
 #[derive(Clone, Debug)]
 pub enum Request {
     Run(Box<RunRequest>),
+    /// Versioned JSON telemetry snapshot (`SVC_STATS_VERSION`).
     Stats,
+    /// Prometheus text exposition 0.0.4; the only multi-line response,
+    /// terminated by a `# EOF` line.
+    Metrics,
     Ping,
     Shutdown,
 }
@@ -59,10 +64,19 @@ fn parse_num<T: std::str::FromStr>(key: &str, v: &str) -> Result<T, SctmError> {
 pub fn parse_request(line: &str) -> Result<Request, SctmError> {
     let mut toks = line.split_whitespace();
     let verb = toks.next().ok_or_else(|| invalid("empty request".into()))?;
+    // Control verbs take no arguments — strict, so a typo'd `run`
+    // payload can't silently become a stats poll.
+    let bare = |req: Request, mut toks: std::str::SplitWhitespace<'_>| match toks.next() {
+        None => Ok(req),
+        Some(tok) => Err(invalid(format!(
+            "verb '{verb}' takes no arguments (got '{tok}')"
+        ))),
+    };
     match verb {
-        "stats" => return Ok(Request::Stats),
-        "ping" => return Ok(Request::Ping),
-        "shutdown" => return Ok(Request::Shutdown),
+        "stats" => return bare(Request::Stats, toks),
+        "metrics" => return bare(Request::Metrics, toks),
+        "ping" => return bare(Request::Ping, toks),
+        "shutdown" => return bare(Request::Shutdown, toks),
         "run" => {}
         other => return Err(invalid(format!("unknown verb '{other}'"))),
     }
@@ -147,6 +161,7 @@ pub fn error_kind(err: &SctmError) -> &'static str {
         SctmError::UnknownNetwork(_) => "unknown-network",
         SctmError::Trace(_) => "trace",
         SctmError::BudgetExhausted { .. } => "budget-exhausted",
+        SctmError::Io(_) => "io",
     }
 }
 
@@ -286,8 +301,18 @@ mod tests {
     #[test]
     fn control_verbs_parse() {
         assert!(matches!(parse_request("stats"), Ok(Request::Stats)));
+        assert!(matches!(parse_request("metrics"), Ok(Request::Metrics)));
         assert!(matches!(parse_request(" ping "), Ok(Request::Ping)));
         assert!(matches!(parse_request("shutdown"), Ok(Request::Shutdown)));
+    }
+
+    #[test]
+    fn control_verbs_reject_stray_arguments() {
+        for line in ["stats now", "metrics all", "ping x=1", "shutdown -f"] {
+            let err = parse_request(line).unwrap_err();
+            assert!(matches!(err, SctmError::InvalidSpec(_)), "{line}: {err}");
+            assert!(err.to_string().contains("takes no arguments"), "{err}");
+        }
     }
 
     #[test]

@@ -13,20 +13,36 @@
 //! with a `busy` response carrying `retry_after_ms`, never blocks the
 //! caller, and never grows the queue past its cap. Shutdown is a
 //! graceful drain — everything already queued still runs and answers.
+//!
+//! # Telemetry (DESIGN.md §12)
+//!
+//! Every request is decomposed into lifecycle phases — accepted →
+//! queued → cache-probe → capture/replay → respond — timed on the host
+//! clock and rolled into a [`SvcStats`] aggregate (relaxed-atomic
+//! counters, max gauges, per-phase latency histograms behind one
+//! per-request lock). The aggregate is always on: it feeds the `stats`
+//! verb (versioned JSON snapshot), the `metrics` verb (Prometheus text
+//! exposition 0.0.4, also served to `GET /metrics` over the same TCP
+//! port), and the optional JSONL request log. None of it can reach a
+//! simulation: response `"result"` bytes are produced before any
+//! telemetry is recorded for the request, and the byte-identity suite
+//! hammers `stats` concurrently to prove it.
 
 use crate::cache::{CacheStats, CaptureCache, CaptureKey};
 use crate::proto::{
-    self, error_response, ok_response, parse_request, result_json, timeout_response, CacheOutcome,
-    Request, RunRequest,
+    self, error_kind, error_response, ok_response, parse_request, result_json, timeout_response,
+    CacheOutcome, Request, RunRequest,
 };
 use sctm_core::Mode;
 use sctm_engine::par::par_map;
-use sctm_obs::Manifest;
+use sctm_obs::reqlog::{json_line, RequestLog};
+use sctm_obs::svc::{SvcCounter, SvcPhase, SvcStats, SVC_STATS_VERSION};
+use sctm_obs::{json_escape, span, Manifest};
 use std::collections::VecDeque;
 use std::io::{BufRead, Write};
 use std::sync::atomic::{AtomicU64, Ordering};
 use std::sync::{mpsc, Arc, Condvar, Mutex};
-use std::time::{Duration, Instant};
+use std::time::{Duration, Instant, SystemTime};
 
 /// Service knobs. All bounds are hard: the queue never exceeds
 /// `queue_cap` and the cache evicts past `cache_bytes`.
@@ -55,6 +71,8 @@ impl Default for ServerConfig {
 
 struct Job {
     req: RunRequest,
+    /// Monotone per-daemon request number; pairs log lines with spans.
+    seq: u64,
     enqueued: Instant,
     /// `None` never times out (deadline arithmetic overflowed).
     deadline: Option<Instant>,
@@ -72,13 +90,42 @@ struct Shared {
     cache: CaptureCache,
     queue: Mutex<QueueState>,
     jobs_ready: Condvar,
-    completed: AtomicU64,
-    rejected: AtomicU64,
-    timeouts: AtomicU64,
+    svc: SvcStats,
+    log: Option<Arc<RequestLog>>,
+    next_seq: AtomicU64,
 }
 
 fn lock<T>(m: &Mutex<T>) -> std::sync::MutexGuard<'_, T> {
     m.lock().unwrap_or_else(std::sync::PoisonError::into_inner)
+}
+
+fn us(d: Duration) -> u64 {
+    d.as_micros().min(u64::MAX as u128) as u64
+}
+
+fn now_ms() -> u128 {
+    SystemTime::now()
+        .duration_since(SystemTime::UNIX_EPOCH)
+        .map(|d| d.as_millis())
+        .unwrap_or(0)
+}
+
+impl Shared {
+    /// Emit one structured JSONL request-log line (no-op when the
+    /// daemon runs without a log). `fields` follow the fixed prefix
+    /// `ts_ms`, `seq`.
+    fn log_event(&self, seq: u64, fields: &[(&str, String)]) {
+        let Some(log) = &self.log else { return };
+        let mut all: Vec<(&str, String)> = Vec::with_capacity(fields.len() + 2);
+        all.push(("ts_ms", now_ms().to_string()));
+        all.push(("seq", seq.to_string()));
+        all.extend(fields.iter().map(|(k, v)| (*k, v.clone())));
+        log.log(&json_line(&all));
+    }
+}
+
+fn quoted(s: &str) -> String {
+    format!("\"{}\"", json_escape(s))
 }
 
 /// A running batch-simulation service. Dropping it drains gracefully.
@@ -89,14 +136,20 @@ pub struct Server {
 
 impl Server {
     pub fn start(cfg: ServerConfig) -> Server {
+        Server::start_logged(cfg, None)
+    }
+
+    /// As [`Server::start`], with an optional structured request log
+    /// (one JSONL line per request; see DESIGN.md §12).
+    pub fn start_logged(cfg: ServerConfig, log: Option<Arc<RequestLog>>) -> Server {
         let shared = Arc::new(Shared {
             cache: CaptureCache::new(cfg.cache_bytes),
             cfg,
             queue: Mutex::new(QueueState::default()),
             jobs_ready: Condvar::new(),
-            completed: AtomicU64::new(0),
-            rejected: AtomicU64::new(0),
-            timeouts: AtomicU64::new(0),
+            svc: SvcStats::new(),
+            log,
+            next_seq: AtomicU64::new(1),
         });
         let worker = Arc::clone(&shared);
         let scheduler = std::thread::Builder::new()
@@ -119,25 +172,49 @@ impl Server {
     pub fn submit(&self, req: RunRequest) -> Result<mpsc::Receiver<String>, String> {
         let cfg = self.shared.cfg;
         let now = Instant::now();
+        let seq = self.shared.next_seq.fetch_add(1, Ordering::Relaxed);
         let timeout = req.timeout_ms.unwrap_or(cfg.default_timeout_ms);
         let deadline = now.checked_add(Duration::from_millis(timeout));
         let mut q = lock(&self.shared.queue);
         if q.draining {
+            drop(q);
             let err = sctm_core::SctmError::InvalidSpec("server is shutting down".into());
+            self.shared.svc.incr(SvcCounter::Rejected);
+            self.shared.log_event(
+                seq,
+                &[
+                    ("id", quoted(&req.id)),
+                    ("verb", quoted("run")),
+                    ("outcome", quoted("draining")),
+                ],
+            );
             return Err(error_response(&req.id, &err));
         }
         if q.jobs.len() >= cfg.queue_cap {
-            self.shared.rejected.fetch_add(1, Ordering::Relaxed);
+            drop(q);
+            self.shared.svc.incr(SvcCounter::Rejected);
+            self.shared.log_event(
+                seq,
+                &[
+                    ("id", quoted(&req.id)),
+                    ("verb", quoted("run")),
+                    ("outcome", quoted("busy")),
+                ],
+            );
             return Err(proto::busy_response(&req.id, cfg.retry_after_ms));
         }
         let (tx, rx) = mpsc::channel();
         q.jobs.push_back(Job {
             req,
+            seq,
             enqueued: now,
             deadline,
             reply: tx,
         });
+        let depth = q.jobs.len() as u64;
         drop(q);
+        self.shared.svc.incr(SvcCounter::Accepted);
+        self.shared.svc.note_queue_depth(depth);
         self.shared.jobs_ready.notify_all();
         Ok(rx)
     }
@@ -160,28 +237,42 @@ impl Server {
         lock(&self.shared.queue).jobs.len()
     }
 
-    /// Service counters as a run manifest in the `sctm-obs` schema.
+    /// Point-in-time copy of the service aggregate. Counters are
+    /// individually monotone across successive calls.
+    pub fn svc_snapshot(&self) -> sctm_obs::svc::SvcSnapshot {
+        self.shared.svc.snapshot()
+    }
+
+    /// The structured request log, when the server was started with one.
+    pub fn request_log(&self) -> Option<&RequestLog> {
+        self.shared.log.as_deref()
+    }
+
+    /// Service telemetry as a run manifest in the `sctm-obs` schema:
+    /// the full `srv.*` namespace of DESIGN.md §12 (lifecycle counters,
+    /// per-phase latency histograms, cache economics, queue state).
     pub fn stats_manifest(&self) -> Manifest {
         let cs = self.shared.cache.stats();
         let mut m = Manifest::new();
+        m.config("stats_version", SVC_STATS_VERSION);
         m.config("queue_cap", self.shared.cfg.queue_cap);
         m.config("cache_budget_bytes", self.shared.cfg.cache_bytes);
         m.metrics.counter_add("srv.cache.hits", cs.hits);
         m.metrics.counter_add("srv.cache.misses", cs.misses);
         m.metrics.counter_add("srv.cache.evictions", cs.evictions);
+        m.metrics
+            .counter_add("srv.cache.single_flight_waits", cs.single_flight_waits);
         m.metrics.gauge_set("srv.cache.entries", cs.entries as f64);
         m.metrics.gauge_set("srv.cache.bytes", cs.bytes as f64);
         m.metrics
             .gauge_set("srv.queue.depth", self.queue_depth() as f64);
-        m.metrics.counter_add(
-            "srv.completed",
-            self.shared.completed.load(Ordering::Relaxed),
-        );
-        m.metrics
-            .counter_add("srv.rejected", self.shared.rejected.load(Ordering::Relaxed));
-        m.metrics
-            .counter_add("srv.timeouts", self.shared.timeouts.load(Ordering::Relaxed));
+        self.shared.svc.snapshot().publish(&mut m.metrics);
         m
+    }
+
+    /// The whole service registry as Prometheus text exposition 0.0.4.
+    pub fn prometheus_text(&self) -> String {
+        sctm_obs::svc::prometheus_text(&self.stats_manifest().metrics)
     }
 
     /// Graceful drain: refuse new submissions, finish everything
@@ -223,9 +314,23 @@ fn scheduler_loop(shared: &Arc<Shared>) {
         for job in batch {
             match job.deadline {
                 Some(d) if d <= now => {
-                    shared.timeouts.fetch_add(1, Ordering::Relaxed);
-                    let waited = now.duration_since(job.enqueued).as_millis();
-                    let _ = job.reply.send(timeout_response(&job.req.id, waited));
+                    let waited = now.duration_since(job.enqueued);
+                    shared.svc.incr(SvcCounter::TimedOut);
+                    shared.svc.record_us(SvcPhase::Queue, us(waited));
+                    shared.svc.record_us(SvcPhase::Total, us(waited));
+                    shared.log_event(
+                        job.seq,
+                        &[
+                            ("id", quoted(&job.req.id)),
+                            ("verb", quoted("run")),
+                            ("outcome", quoted("timeout")),
+                            ("queue_us", us(waited).to_string()),
+                            ("total_us", us(waited).to_string()),
+                        ],
+                    );
+                    let _ = job
+                        .reply
+                        .send(timeout_response(&job.req.id, waited.as_millis()));
                 }
                 _ => live.push(job),
             }
@@ -239,9 +344,63 @@ fn scheduler_loop(shared: &Arc<Shared>) {
             .map(|job| {
                 let shared = Arc::clone(shared);
                 move || {
-                    let line = run_job(&shared, &job.req);
-                    shared.completed.fetch_add(1, Ordering::Relaxed);
-                    let _ = job.reply.send(line);
+                    let start = Instant::now();
+                    let queue_us = us(start.duration_since(job.enqueued));
+                    shared.svc.enter();
+                    let done = run_job(&shared, &job.req);
+                    shared.svc.exit();
+
+                    // Counters land before the reply: a client that
+                    // polls `stats` after receiving its answer always
+                    // sees itself counted (the channel send/recv pair
+                    // orders the relaxed stores for the receiver).
+                    let svc = &shared.svc;
+                    svc.incr(SvcCounter::Completed);
+                    match done.cache {
+                        CacheOutcome::Bypass => svc.incr(SvcCounter::CacheBypass),
+                        CacheOutcome::Hit | CacheOutcome::Miss => {}
+                    }
+                    if let Some(kind) = done.error_kind {
+                        svc.incr(SvcCounter::Errors);
+                        if kind == "budget-exhausted" {
+                            svc.incr(SvcCounter::BudgetExhausted);
+                        }
+                    }
+                    let respond0 = Instant::now();
+                    let _ = job.reply.send(done.line);
+                    let respond_us = us(respond0.elapsed());
+                    let total_us = us(job.enqueued.elapsed());
+                    svc.record_us(SvcPhase::Queue, queue_us);
+                    svc.record_us(SvcPhase::CacheProbe, done.probe_us);
+                    svc.record_us(SvcPhase::Execute, done.execute_us);
+                    svc.record_us(SvcPhase::Respond, respond_us);
+                    svc.record_us(SvcPhase::Total, total_us);
+
+                    let mut fields: Vec<(&str, String)> = vec![
+                        ("id", quoted(&job.req.id)),
+                        ("verb", quoted("run")),
+                        (
+                            "outcome",
+                            quoted(if done.error_kind.is_some() {
+                                "error"
+                            } else {
+                                "ok"
+                            }),
+                        ),
+                        ("cache", quoted(done.cache.label())),
+                    ];
+                    if let Some(key) = done.key_prefix {
+                        fields.push(("key", quoted(&key)));
+                    }
+                    if let Some(kind) = done.error_kind {
+                        fields.push(("error_kind", quoted(kind)));
+                    }
+                    fields.push(("queue_us", queue_us.to_string()));
+                    fields.push(("probe_us", done.probe_us.to_string()));
+                    fields.push(("execute_us", done.execute_us.to_string()));
+                    fields.push(("respond_us", respond_us.to_string()));
+                    fields.push(("total_us", total_us.to_string()));
+                    shared.log_event(job.seq, &fields);
                 }
             })
             .collect();
@@ -249,31 +408,94 @@ fn scheduler_loop(shared: &Arc<Shared>) {
     }
 }
 
+/// What one executed request produced, response line plus the
+/// telemetry the scheduler folds into [`SvcStats`] and the request log.
+struct JobDone {
+    line: String,
+    cache: CacheOutcome,
+    /// First 8 hex digits of the [`CaptureKey`] (`None` on bypass) —
+    /// enough to correlate log lines sharing a capture without leaking
+    /// a reversible workload description.
+    key_prefix: Option<String>,
+    error_kind: Option<&'static str>,
+    /// Cache resolution time, excluding any capture it triggered.
+    probe_us: u64,
+    /// Simulation work: capture (on a miss) plus replay/execute.
+    execute_us: u64,
+}
+
 /// Execute one request, satisfying trace-mode captures from the cache.
-fn run_job(shared: &Shared, req: &RunRequest) -> String {
+fn run_job(shared: &Shared, req: &RunRequest) -> JobDone {
     let wall0 = Instant::now();
     let e = &req.experiment;
     let traceless = matches!(req.spec.mode, Mode::ExecutionDriven | Mode::Online { .. });
-    let (outcome, cache) = if traceless {
-        (e.execute(&req.spec), CacheOutcome::Bypass)
+    let (outcome, cache, key_prefix, probe_us, mut execute_us) = if traceless {
+        let _g = span("svc", "execute");
+        let x0 = Instant::now();
+        let outcome = e.execute(&req.spec);
+        (outcome, CacheOutcome::Bypass, None, 0, us(x0.elapsed()))
     } else {
         let key = CaptureKey::new(e.kernel.label(), e.system.side, e.ops_per_core, e.seed);
-        let (log, hit) = shared.cache.get_or_capture(key, || e.capture());
+        let mut capture = Duration::ZERO;
+        let probe0 = Instant::now();
+        let (log, hit) = {
+            let _g = span("svc", "cache_probe");
+            shared.cache.get_or_capture(key, || {
+                let _g = span("svc", "capture");
+                let c0 = Instant::now();
+                let t = e.capture();
+                capture = c0.elapsed();
+                t
+            })
+        };
+        // Probe time is cache resolution only; the capture a miss
+        // triggers is execution work and accounted there.
+        let probe = probe0.elapsed().saturating_sub(capture);
         let cache = if hit {
             CacheOutcome::Hit
         } else {
             CacheOutcome::Miss
         };
-        (e.execute_seeded(&req.spec, Some(&log)), cache)
+        let x0 = Instant::now();
+        let outcome = {
+            let _g = span("svc", "execute");
+            e.execute_seeded(&req.spec, Some(&log))
+        };
+        (
+            outcome,
+            cache,
+            Some(format!("{:08x}", key.0 >> 32)),
+            us(probe),
+            us(capture + x0.elapsed()),
+        )
     };
     match outcome {
-        Ok(out) => ok_response(
-            &req.id,
-            wall0.elapsed().as_nanos(),
+        Ok(out) => {
+            let line = ok_response(
+                &req.id,
+                wall0.elapsed().as_nanos(),
+                cache,
+                &result_json(&out.report, e),
+            );
+            // Rendering the manifest is execution work too.
+            execute_us = us(wall0.elapsed());
+            JobDone {
+                line,
+                cache,
+                key_prefix,
+                error_kind: None,
+                probe_us,
+                execute_us,
+            }
+        }
+        Err(err) => JobDone {
+            line: error_response(&req.id, &err),
             cache,
-            &result_json(&out.report, e),
-        ),
-        Err(err) => error_response(&req.id, &err),
+            key_prefix,
+            error_kind: Some(error_kind(&err)),
+            probe_us,
+            execute_us,
+        },
     }
 }
 
@@ -289,6 +511,16 @@ fn recv_line(rx: &mpsc::Receiver<String>) -> String {
     })
 }
 
+/// The `stats` verb's response line: versioned envelope around the
+/// telemetry manifest.
+fn stats_line(server: &Server) -> String {
+    format!(
+        r#"{{"status":"ok","version":{},"stats":{}}}"#,
+        SVC_STATS_VERSION,
+        server.stats_manifest().to_json_compact()
+    )
+}
+
 /// Serve newline-delimited requests from `reader`, writing one response
 /// line per request to `writer` **in request order**. Returns `true`
 /// when the stream asked for shutdown.
@@ -296,8 +528,21 @@ fn recv_line(rx: &mpsc::Receiver<String>) -> String {
 /// Run responses are buffered so consecutive `run` lines schedule as
 /// one parallel batch; completed head-of-line responses stream out as
 /// soon as they are ready, and control verbs (`ping`, `stats`,
-/// `shutdown`) flush everything still owed first, so their answers
-/// observe all preceding runs.
+/// `metrics`, `shutdown`) flush everything still owed first, so their
+/// answers observe all preceding runs. The `metrics` response is the
+/// one multi-line answer: Prometheus text terminated by a `# EOF` line.
+///
+/// A reader that times out (`WouldBlock`/`TimedOut`, e.g. a `TcpStream`
+/// with a read timeout) is treated as *idle*, not dead: completed
+/// responses are flushed and the read retried, so a lockstep client —
+/// one request, wait for the answer — gets its response without having
+/// to send another byte. Bytes of a partially received line survive
+/// the retry.
+///
+/// A line starting with `GET ` switches the connection to one-shot
+/// HTTP: `GET /metrics` and `GET /stats` answer with an `HTTP/1.0`
+/// response and close, so standard Prometheus scrapers can poll the
+/// same TCP port the line protocol lives on.
 pub fn serve_lines<R: BufRead, W: Write>(
     reader: R,
     writer: &mut W,
@@ -342,12 +587,48 @@ pub fn serve_lines<R: BufRead, W: Write>(
         Ok(())
     };
 
-    for line in reader.lines() {
-        let line = line?;
+    let idle = |e: &std::io::Error| {
+        matches!(
+            e.kind(),
+            std::io::ErrorKind::WouldBlock | std::io::ErrorKind::TimedOut
+        )
+    };
+    let mut reader = reader;
+    let mut buf = String::new();
+    loop {
+        // `read_line` appends whatever arrived before a timeout, so a
+        // half-received request accumulates in `buf` across retries.
+        match reader.read_line(&mut buf) {
+            Ok(0) => break, // EOF
+            Ok(_) => {}
+            Err(e) if idle(&e) => {
+                flush_ready(&mut pending, writer)?;
+                continue;
+            }
+            Err(e) if e.kind() == std::io::ErrorKind::Interrupted => continue,
+            Err(e) => return Err(e),
+        }
+        let owned = std::mem::take(&mut buf);
+        let line = owned.trim_end_matches(['\r', '\n']);
         if line.trim().is_empty() {
             continue;
         }
-        match parse_request(&line) {
+        if line.starts_with("GET ") {
+            // One-shot HTTP scrape; drain the request headers first.
+            let mut hdr = String::new();
+            loop {
+                match reader.read_line(&mut hdr) {
+                    Ok(0) => break,
+                    Ok(_) if hdr.trim().is_empty() => break,
+                    Ok(_) => hdr.clear(),
+                    Err(e) if idle(&e) || e.kind() == std::io::ErrorKind::Interrupted => continue,
+                    Err(e) => return Err(e),
+                }
+            }
+            flush_all(&mut pending, writer)?;
+            return serve_http_get(line, writer, server).map(|()| false);
+        }
+        match parse_request(line) {
             Err(err) => pending.push_back(Pending::Ready(error_response("", &err))),
             Ok(Request::Run(req)) => match server.submit(*req) {
                 Ok(rx) => pending.push_back(Pending::Waiting(rx)),
@@ -360,8 +641,15 @@ pub fn serve_lines<R: BufRead, W: Write>(
             }
             Ok(Request::Stats) => {
                 flush_all(&mut pending, writer)?;
-                let stats = server.stats_manifest().to_json_compact();
-                writeln!(writer, r#"{{"status":"ok","stats":{stats}}}"#)?;
+                server.shared.svc.incr(SvcCounter::StatsServed);
+                writeln!(writer, "{}", stats_line(server))?;
+                writer.flush()?;
+            }
+            Ok(Request::Metrics) => {
+                flush_all(&mut pending, writer)?;
+                server.shared.svc.incr(SvcCounter::MetricsServed);
+                writer.write_all(server.prometheus_text().as_bytes())?;
+                writeln!(writer, "# EOF")?;
                 writer.flush()?;
             }
             Ok(Request::Shutdown) => {
@@ -375,6 +663,51 @@ pub fn serve_lines<R: BufRead, W: Write>(
     }
     flush_all(&mut pending, writer)?;
     Ok(false)
+}
+
+/// Answer one HTTP GET (`/metrics`, `/stats`) and close. HTTP/1.0 +
+/// `Connection: close` keeps this a strict one-shot: no keep-alive, no
+/// chunking, nothing for a scraper to misread.
+fn serve_http_get<W: Write>(
+    request_line: &str,
+    writer: &mut W,
+    server: &Server,
+) -> std::io::Result<()> {
+    let path = request_line
+        .strip_prefix("GET ")
+        .unwrap_or("")
+        .split_whitespace()
+        .next()
+        .unwrap_or("/");
+    let (status, ctype, body) = match path {
+        "/metrics" => {
+            server.shared.svc.incr(SvcCounter::MetricsServed);
+            (
+                "200 OK",
+                "text/plain; version=0.0.4; charset=utf-8",
+                server.prometheus_text(),
+            )
+        }
+        "/stats" => {
+            server.shared.svc.incr(SvcCounter::StatsServed);
+            (
+                "200 OK",
+                "application/json",
+                format!("{}\n", stats_line(server)),
+            )
+        }
+        _ => (
+            "404 Not Found",
+            "text/plain; charset=utf-8",
+            "unknown path; try /metrics or /stats\n".to_string(),
+        ),
+    };
+    write!(
+        writer,
+        "HTTP/1.0 {status}\r\nContent-Type: {ctype}\r\nContent-Length: {}\r\nConnection: close\r\n\r\n{body}",
+        body.len()
+    )?;
+    writer.flush()
 }
 
 /// Serve the line protocol over TCP until a connection sends
@@ -393,6 +726,12 @@ pub fn serve_tcp(listener: std::net::TcpListener, server: Server) -> std::io::Re
                 let stop = Arc::clone(&stop);
                 conns.push(std::thread::spawn(move || {
                     stream.set_nonblocking(false).ok();
+                    // The receive timeout makes `serve_lines` wake up
+                    // and flush completed responses to lockstep
+                    // clients while the connection is otherwise idle.
+                    stream
+                        .set_read_timeout(Some(Duration::from_millis(25)))
+                        .ok();
                     let Ok(read_half) = stream.try_clone() else {
                         return;
                     };

@@ -1,0 +1,143 @@
+//! Convergence-telemetry cost gate (PR8): recording the per-iteration
+//! drift ledger must stay within 2% of an otherwise-identical
+//! instrumented self-correction run with the ledger switched off
+//! (`obs::set_conv_enabled(false)`), and CI enforces
+//! `benchcmp ratio conv_overhead/telemetry_on conv_overhead/telemetry_off --max 1.02`
+//! on the records this binary writes. Both conditions run with global
+//! observability *on*, so the ratio isolates exactly what this
+//! subsystem adds — general tracing cost is `obs_overhead`'s gate, and
+//! the fully-disabled path (where the tracker is never built and the
+//! verdict rides on arithmetic the loop already does) is held by the
+//! suite-wide `benchcmp diff` against the committed baseline.
+//!
+//! Like `srv_stats_overhead`, a 2% gate cannot be resolved by
+//! sequential A-then-B timing under host noise, so this is NOT a
+//! criterion bench: off and on windows interleave across one time
+//! span, each window's sample is the min batch mean (noise only adds
+//! time), and the medians across windows form the gated ratio. Obs
+//! state (trace buffer, conv ledger, iteration telemetry) is drained
+//! between windows, outside the timed region, so accumulation in one
+//! window never taxes the next.
+
+use std::time::Instant;
+
+use sctm_core::{Experiment, NetworkKind, RunSpec, SystemConfig};
+use sctm_obs as obs;
+use sctm_prof::benchjson::{BenchFile, BenchRecord};
+use sctm_workloads::Kernel;
+
+/// Paired windows per condition; medians are taken across these.
+const WINDOWS: usize = 30;
+/// Batches per window; a window's sample is the MIN batch mean.
+const BATCHES: usize = 6;
+/// Full self-correction runs per batch.
+const PER_BATCH: usize = 8;
+
+fn one_run() -> f64 {
+    let exp = Experiment::new(SystemConfig::new(2, NetworkKind::Omesh), Kernel::Fft).with_ops(120);
+    let spec = RunSpec::self_correction(3);
+    let out = exp.execute(&spec).expect("valid spec");
+    std::hint::black_box(out.report.exec_time.as_ps() as f64)
+}
+
+/// Min batch-mean ns/run over one window.
+fn window_ns() -> f64 {
+    let mut best = f64::INFINITY;
+    for _ in 0..BATCHES {
+        let start = Instant::now();
+        for _ in 0..PER_BATCH {
+            std::hint::black_box(one_run());
+        }
+        best = best.min(start.elapsed().as_nanos() as f64 / PER_BATCH as f64);
+    }
+    best
+}
+
+/// Drop everything the instrumented windows accumulated so buffer
+/// growth can't bleed into later windows. Runs outside timed regions.
+fn drain_obs_state() {
+    std::hint::black_box(obs::drain());
+    obs::reset_conv();
+    obs::reset_iterations();
+    obs::reset_global();
+}
+
+fn record(id: &str, mut samples: Vec<f64>) -> BenchRecord {
+    samples.sort_by(|a, b| a.total_cmp(b));
+    let q = |p: f64| samples[((samples.len() - 1) as f64 * p).round() as usize];
+    let median = if samples.len() % 2 == 1 {
+        samples[samples.len() / 2]
+    } else {
+        (samples[samples.len() / 2 - 1] + samples[samples.len() / 2]) / 2.0
+    };
+    BenchRecord {
+        id: id.to_string(),
+        samples: samples.len() as u64,
+        min_ns: samples[0],
+        p25_ns: q(0.25),
+        median_ns: median,
+        p75_ns: q(0.75),
+        max_ns: samples[samples.len() - 1],
+    }
+}
+
+fn main() {
+    // Global observability stays on for the whole run; only the conv
+    // ledger toggles between windows.
+    obs::set_enabled(true);
+
+    // Steady-state warm-up before any timed window, in both modes so
+    // lazily initialised obs state is paid for up front.
+    obs::set_conv_enabled(false);
+    for _ in 0..PER_BATCH {
+        std::hint::black_box(one_run());
+    }
+    obs::set_conv_enabled(true);
+    for _ in 0..PER_BATCH {
+        std::hint::black_box(one_run());
+    }
+    drain_obs_state();
+
+    let mut off = Vec::with_capacity(WINDOWS);
+    let mut on = Vec::with_capacity(WINDOWS);
+    for _ in 0..WINDOWS {
+        obs::set_conv_enabled(false);
+        off.push(window_ns());
+        drain_obs_state();
+        obs::set_conv_enabled(true);
+        on.push(window_ns());
+        drain_obs_state();
+    }
+    obs::set_enabled(false);
+    obs::set_conv_enabled(true);
+
+    let mut file = BenchFile::new();
+    file.benches
+        .push(record("conv_overhead/telemetry_off", off));
+    file.benches.push(record("conv_overhead/telemetry_on", on));
+    for b in &file.benches {
+        println!(
+            "{:<40} time: [{:.3} µs {:.3} µs {:.3} µs]  ({} interleaved windows, min of {} x {}-run batches)",
+            b.id,
+            b.min_ns / 1e3,
+            b.median_ns / 1e3,
+            b.max_ns / 1e3,
+            b.samples,
+            BATCHES,
+            PER_BATCH
+        );
+    }
+    println!(
+        "telemetry_on / telemetry_off median ratio: {:.4}",
+        file.benches[1].median_ns / file.benches[0].median_ns
+    );
+
+    let mut args = std::env::args().skip(1);
+    while let Some(a) = args.next() {
+        if a == "--bench-json" {
+            let path = args.next().expect("--bench-json needs a path");
+            std::fs::write(&path, file.to_json()).expect("write bench json");
+            println!("conv_overhead: wrote bench JSON to {path}");
+        }
+    }
+}

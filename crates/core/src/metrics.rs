@@ -8,6 +8,7 @@
 
 use sctm_engine::stats::rel_err_pct;
 use sctm_engine::time::SimTime;
+use sctm_obs::ConvergenceVerdict;
 use std::time::Duration;
 
 /// Aggregate outcome of one simulation run (any mode).
@@ -27,6 +28,10 @@ pub struct RunReport {
     pub wall: Duration,
     /// Per-iteration convergence stats (self-correction mode only).
     pub iterations: Option<Vec<IterStats>>,
+    /// Typed convergence verdict (self-correction mode only). Always
+    /// computed — it rides on arithmetic the loop already does — so it
+    /// is identical whether or not observability is recording.
+    pub verdict: Option<ConvergenceVerdict>,
 }
 
 /// One iteration of the outer self-correction loop (capture on the
@@ -99,6 +104,7 @@ mod tests {
             messages: 100,
             wall: Duration::from_millis(wall_ms),
             iterations: None,
+            verdict: None,
         }
     }
 

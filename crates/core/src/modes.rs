@@ -439,6 +439,16 @@ impl Experiment {
         // Incremental engine, alive across iterations so its
         // checkpoints and previous-pass inputs carry over.
         let mut incr = self.incremental.then(IncrReplayer::new);
+        // Convergence observability: the drift ledger exists only while
+        // recording is on; the verdict inputs (drift/signed-movement
+        // history) are a handful of scalar pushes and always tracked,
+        // so the verdict never depends on the recording state.
+        let mut conv = (obs::enabled() && obs::conv_enabled())
+            .then(|| obs::ConvTracker::new(kind.label(), self.kernel.label(), self.damping));
+        let mut drift_hist: Vec<u64> = Vec::with_capacity(max_iters);
+        let mut signed_hist: Vec<f64> = Vec::with_capacity(max_iters);
+        let mut last_factor_move = 0.0f64;
+        let mut exit_verdict: Option<obs::ConvergenceVerdict> = None;
         // Relative convergence threshold: 0.5% of the estimate.
         for it in 1..=max_iters {
             let _iter_span = obs::span("sctm", "iteration");
@@ -453,11 +463,23 @@ impl Experiment {
                 prev_est = log.capture_exec_time;
             }
             let mut net = SystemConfig::make_network_kind(side, kind);
+            let mut incr_decision: Option<obs::IncrDecision> = None;
             let result = {
                 let _span = obs::span("sctm", "replay");
                 match &mut incr {
                     Some(engine) => {
                         let (result, pass) = engine.replay(&log, &mut net, &mut scratch);
+                        if conv.is_some() {
+                            incr_decision = Some(obs::IncrDecision {
+                                kind: pass.kind_label(),
+                                cause: pass.cause(),
+                                dirty: pass.dirty,
+                                trace_len: pass.trace_len,
+                                prev_len: pass.prev_len,
+                                epochs_restored: pass.epochs_restored,
+                                epochs_replayed: pass.epochs_replayed,
+                            });
+                        }
                         if obs::enabled() {
                             obs::with_global(|reg| {
                                 reg.counter_add(
@@ -503,17 +525,38 @@ impl Experiment {
             let corr_span = obs::span("sctm", "correct");
             let corr = pair_corrections(&log, &result, |m| model.base_latency(m));
             let alpha = self.damping;
-            let (mut moved_weighted, mut weight) = (0.0f64, 0.0f64);
+            let (mut moved_weighted, mut signed_weighted, mut weight) = (0.0f64, 0.0f64, 0.0f64);
+            let mut pair_moves: Vec<obs::PairMove> = Vec::new();
+            if conv.is_some() {
+                pair_moves.reserve(corr.len());
+            }
             for &((s, d, class), f, count) in &corr {
                 let old = model.correction(NodeId(s), NodeId(d), class);
                 model.set_correction(NodeId(s), NodeId(d), class, (1.0 - alpha) * old + alpha * f);
                 let installed = model.correction(NodeId(s), NodeId(d), class);
                 let moved = (installed - old).abs() / old.abs().max(1e-12);
                 moved_weighted += moved * count as f64;
+                signed_weighted += (installed - old) / old.abs().max(1e-12) * count as f64;
                 weight += count as f64;
+                if conv.is_some() {
+                    pair_moves.push(obs::PairMove {
+                        src: s,
+                        dst: d,
+                        class: class.label(),
+                        factor_old: old,
+                        factor_measured: f,
+                        factor_new: installed,
+                        messages: count,
+                    });
+                }
             }
             let factor_move = if weight > 0.0 {
                 moved_weighted / weight
+            } else {
+                0.0
+            };
+            let signed_move = if weight > 0.0 {
+                signed_weighted / weight
             } else {
                 0.0
             };
@@ -544,9 +587,24 @@ impl Experiment {
                 messages: log.len() as u64,
                 wall_ns: iter_wall.elapsed().as_nanos() as u64,
             });
+            if let Some(c) = conv.as_mut() {
+                c.record_iteration(
+                    it as u32,
+                    est.as_ps(),
+                    drift.as_ps(),
+                    factor_move,
+                    signed_move,
+                    &pair_moves,
+                    incr_decision,
+                );
+            }
+            drift_hist.push(drift.as_ps());
+            signed_hist.push(signed_move);
+            last_factor_move = factor_move;
             prev_est = est;
             last = Some((log, result));
             if drift.as_ps() * 200 < est.as_ps() {
+                exit_verdict = Some(obs::ConvergenceVerdict::ConvergedDrift);
                 break; // < 0.5% movement of the estimate
             }
             if self.factor_epsilon > 0.0 && factor_move < self.factor_epsilon {
@@ -554,8 +612,24 @@ impl Experiment {
                 // re-capture would see (quantised) factors within ε of
                 // the ones that produced this iteration, so skip the
                 // confirmation capture entirely.
+                exit_verdict = Some(obs::ConvergenceVerdict::ConvergedFactorEpsilon);
                 break;
             }
+        }
+        // No exit tripped: let the detectors name the failure mode.
+        // The stall threshold is the run's own factor-ε when it has
+        // one (an exit would have fired first, so this only matters
+        // with the ε-exit disabled, where the default applies).
+        let verdict = exit_verdict.unwrap_or_else(|| {
+            let stall_eps = if self.factor_epsilon > 0.0 {
+                self.factor_epsilon
+            } else {
+                sctm_obs::conv::DEFAULT_STALL_EPSILON
+            };
+            obs::classify_unconverged(&drift_hist, &signed_hist, last_factor_move, stall_eps)
+        });
+        if let Some(c) = conv {
+            c.finish(verdict);
         }
         let (log, result) = last.unwrap();
         RunReport {
@@ -568,6 +642,7 @@ impl Experiment {
             messages: log.len() as u64,
             wall: wall0.elapsed(),
             iterations: Some(iters),
+            verdict: Some(verdict),
         }
     }
 
@@ -627,6 +702,7 @@ impl Experiment {
             messages: res.messages_injected,
             wall: wall0.elapsed(),
             iterations: None,
+            verdict: None,
         }
     }
 
@@ -675,6 +751,7 @@ impl Experiment {
             messages: log.len() as u64,
             wall: wall0.elapsed(),
             iterations: None,
+            verdict: None,
         })
     }
 
@@ -704,6 +781,7 @@ impl Experiment {
             messages: res.messages_injected,
             wall: wall0.elapsed(),
             iterations: None,
+            verdict: None,
         }
     }
 }

@@ -516,6 +516,32 @@ mod tests {
     }
 
     #[test]
+    fn empty_histogram_sums_and_cumulates_to_zero() {
+        let h = Histogram::new();
+        assert_eq!(h.sum(), 0);
+        assert_eq!(h.count(), 0);
+        for v in [0u64, 1, 1 << 20, u64::MAX] {
+            assert_eq!(h.count_le(v), 0, "count_le({v}) on empty histogram");
+        }
+    }
+
+    #[test]
+    fn single_bucket_histogram_is_exact() {
+        // All mass in one bucket: sum, count and the cumulative count
+        // on either side of the value must all be exact, including the
+        // v-1 / v boundary (group-0 buckets hold single values).
+        let mut h = Histogram::new();
+        for _ in 0..7 {
+            h.record(5);
+        }
+        assert_eq!(h.count(), 7);
+        assert_eq!(h.sum(), 35);
+        assert_eq!(h.count_le(4), 0);
+        assert_eq!(h.count_le(5), 7);
+        assert_eq!(h.count_le(u64::MAX), 7);
+    }
+
+    #[test]
     fn rel_err_pct_cases() {
         assert!((rel_err_pct(110.0, 100.0) - 10.0).abs() < 1e-9);
         assert_eq!(rel_err_pct(0.0, 0.0), 0.0);

@@ -329,49 +329,51 @@ impl Manifest {
     }
 }
 
+/// Minimal structural JSON check: balanced braces/brackets outside
+/// string literals, escapes well-formed. Not a full parser, but it
+/// catches the serialisation mistakes hand-written JSON makes.
+/// Test-only, shared with the conv-report tests.
+#[cfg(test)]
+pub(crate) fn check_json(s: &str) {
+    let mut depth: Vec<char> = Vec::new();
+    let mut chars = s.chars();
+    let mut in_str = false;
+    while let Some(c) = chars.next() {
+        if in_str {
+            match c {
+                '\\' => {
+                    let e = chars.next().expect("dangling escape");
+                    assert!(
+                        matches!(e, '"' | '\\' | '/' | 'b' | 'f' | 'n' | 'r' | 't' | 'u'),
+                        "bad escape \\{e}"
+                    );
+                    if e == 'u' {
+                        for _ in 0..4 {
+                            let h = chars.next().expect("short \\u escape");
+                            assert!(h.is_ascii_hexdigit(), "bad \\u digit {h}");
+                        }
+                    }
+                }
+                '"' => in_str = false,
+                _ => {}
+            }
+            continue;
+        }
+        match c {
+            '"' => in_str = true,
+            '{' | '[' => depth.push(c),
+            '}' => assert_eq!(depth.pop(), Some('{'), "unbalanced }}"),
+            ']' => assert_eq!(depth.pop(), Some('['), "unbalanced ]"),
+            _ => {}
+        }
+    }
+    assert!(!in_str, "unterminated string");
+    assert!(depth.is_empty(), "unclosed {depth:?}");
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
-
-    /// Minimal structural JSON check: balanced braces/brackets outside
-    /// string literals, escapes well-formed. Not a full parser, but it
-    /// catches the serialisation mistakes hand-written JSON makes.
-    fn check_json(s: &str) {
-        let mut depth: Vec<char> = Vec::new();
-        let mut chars = s.chars();
-        let mut in_str = false;
-        while let Some(c) = chars.next() {
-            if in_str {
-                match c {
-                    '\\' => {
-                        let e = chars.next().expect("dangling escape");
-                        assert!(
-                            matches!(e, '"' | '\\' | '/' | 'b' | 'f' | 'n' | 'r' | 't' | 'u'),
-                            "bad escape \\{e}"
-                        );
-                        if e == 'u' {
-                            for _ in 0..4 {
-                                let h = chars.next().expect("short \\u escape");
-                                assert!(h.is_ascii_hexdigit(), "bad \\u digit {h}");
-                            }
-                        }
-                    }
-                    '"' => in_str = false,
-                    _ => {}
-                }
-                continue;
-            }
-            match c {
-                '"' => in_str = true,
-                '{' | '[' => depth.push(c),
-                '}' => assert_eq!(depth.pop(), Some('{'), "unbalanced }}"),
-                ']' => assert_eq!(depth.pop(), Some('['), "unbalanced ]"),
-                _ => {}
-            }
-        }
-        assert!(!in_str, "unterminated string");
-        assert!(depth.is_empty(), "unclosed {depth:?}");
-    }
 
     #[test]
     fn chrome_trace_renders_both_shapes() {

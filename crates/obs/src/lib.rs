@@ -19,6 +19,7 @@
 //!
 //! [`AtomicBool`]: std::sync::atomic::AtomicBool
 
+pub mod conv;
 mod export;
 mod registry;
 pub mod reqlog;
@@ -26,6 +27,11 @@ mod series;
 pub mod svc;
 mod tracer;
 
+pub use conv::{
+    classify_unconverged, conv_enabled, conv_report_json, conv_series, conv_snapshot, reset_conv,
+    set_conv_enabled, ConvRun, ConvTracker, ConvergenceVerdict, IncrDecision, IterLedger,
+    LedgerEntry, PairMove,
+};
 pub use export::{
     chrome_trace_json, chrome_trace_with_series, json_escape, json_f64, Manifest, PhaseWall,
 };

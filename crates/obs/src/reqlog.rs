@@ -217,6 +217,34 @@ mod tests {
     }
 
     #[test]
+    fn record_landing_exactly_on_the_limit_rotates_on_the_next_write() {
+        // The size check runs BEFORE a write: a record whose final byte
+        // lands exactly on `max_bytes` stays in the current file, and
+        // it is the NEXT write that rotates. Off-by-one here either
+        // tears the boundary record across files or rotates one record
+        // early forever.
+        let line = r#"{"seq":0}"#; // 9 bytes + newline = 10 on disk
+        let dir = temp_dir("boundary");
+        let log = RequestLog::with_limits(&dir, 30, 2).unwrap();
+        for _ in 0..3 {
+            log.log(line); // 30 bytes written: exactly max_bytes
+        }
+        assert_eq!(log.rotations(), 0, "rotated before the limit was exceeded");
+        let active = std::fs::read_to_string(log.path()).unwrap();
+        assert_eq!(active.len(), 30);
+        assert_eq!(active.lines().count(), 3);
+
+        log.log(line); // first byte past the limit: rotate, then write
+        assert_eq!(log.rotations(), 1);
+        assert_eq!(log.io_errors(), 0);
+        let active = std::fs::read_to_string(log.path()).unwrap();
+        assert_eq!(active.lines().collect::<Vec<_>>(), vec![line]);
+        let rotated = std::fs::read_to_string(dir.join("sctmd.log.jsonl.1")).unwrap();
+        assert_eq!(rotated.len(), 30, "boundary record left the full file");
+        let _ = std::fs::remove_dir_all(&dir);
+    }
+
+    #[test]
     fn reopen_appends_and_counts_existing_bytes() {
         let dir = temp_dir("reopen");
         {

@@ -397,11 +397,15 @@ mod tests {
         let new = file(vec![rec("a", 110.0), rec("b", 110.0), rec("c", 110.0)]);
         let g = compare(&old, &new, 0.50).geo_mean_ratio.unwrap();
         assert!((g - 1.1).abs() < 1e-9, "geo mean {g}");
-        // No common benches → no geo mean.
-        assert_eq!(
-            compare(&old, &file(vec![rec("z", 1.0)]), 0.1).geo_mean_ratio,
-            None
-        );
+        // No common benches → no geo mean, and nothing else to report:
+        // `benchcmp diff` treats this as a failed (downgradable)
+        // comparison rather than a vacuous "no regressions".
+        let disjoint = compare(&old, &file(vec![rec("z", 1.0)]), 0.1);
+        assert_eq!(disjoint.geo_mean_ratio, None);
+        assert_eq!(disjoint.common, 0);
+        assert!(disjoint.regressions.is_empty() && disjoint.improvements.is_empty());
+        assert_eq!(disjoint.added.len(), 1);
+        assert_eq!(disjoint.removed.len(), 3);
     }
 
     #[test]

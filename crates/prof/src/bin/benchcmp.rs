@@ -77,6 +77,22 @@ fn run() -> Result<bool, String> {
             if cmp.machine_mismatch {
                 println!("warning: machine fingerprints differ — treating as warn-only");
             }
+            if cmp.common == 0 {
+                // Disjoint bench sets: the geo-mean trajectory is
+                // undefined and a "no regressions" verdict would be
+                // vacuous — almost always a wrong file or a renamed
+                // suite. Fail loudly (downgradable like a regression).
+                println!(
+                    "warning: no common benches between {old_path} and {new_path} — \
+                     geo-mean trajectory unavailable"
+                );
+                if warn_only || cmp.machine_mismatch {
+                    println!("benchcmp: empty comparison — warn-only, not failing");
+                    return Ok(true);
+                }
+                println!("benchcmp: empty comparison");
+                return Ok(false);
+            }
             if let Some(g) = cmp.geo_mean_ratio {
                 // Over every common bench, not just the over-threshold
                 // ones: the suite-wide direction of the change.

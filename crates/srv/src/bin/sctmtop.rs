@@ -5,6 +5,7 @@
 //! sctmtop 127.0.0.1:4710 --interval-ms 250
 //! sctmtop 127.0.0.1:4710 --once           # one frame, no screen clear
 //! sctmtop 127.0.0.1:4710 --frames 10      # exit after 10 frames
+//! sctmtop 127.0.0.1:4710 --json           # one raw stats line, for scripts
 //! ```
 //!
 //! Polls the daemon's `stats` verb over one persistent TCP connection
@@ -13,12 +14,13 @@
 //! queue/backpressure state, and per-phase latency quantiles. Made for
 //! watching a §P5-style saturation sweep approach its cliff.
 
+use sctm_obs::ConvergenceVerdict;
 use std::io::{BufRead, BufReader, Write};
 use std::net::TcpStream;
 use std::time::{Duration, Instant};
 
 fn usage() -> ! {
-    eprintln!("usage: sctmtop ADDR [--interval-ms N] [--frames N] [--once]");
+    eprintln!("usage: sctmtop ADDR [--interval-ms N] [--frames N] [--once] [--json]");
     std::process::exit(2);
 }
 
@@ -156,6 +158,23 @@ fn render(doc: &str, prev: &Frame, addr: &str, frame_no: u64, clear: bool) -> Fr
         g("srv.queue.peak") as u64,
         g("srv.in_flight") as u64,
     ));
+    let cv = |v: ConvergenceVerdict| counter(doc, &format!("srv.conv.runs.{}", v.label()));
+    let converged: u64 = ConvergenceVerdict::ALL
+        .iter()
+        .filter(|v| v.is_converged())
+        .map(|v| cv(*v))
+        .sum();
+    out.push_str(&format!(
+        "conv       converged {:>5}   oscillating {:>4}   stalled {:>4}   diverging {:>4}   exhausted {:>4}   iters p50 {:>3}\n\n",
+        converged,
+        cv(ConvergenceVerdict::Oscillating),
+        cv(ConvergenceVerdict::Stalled),
+        cv(ConvergenceVerdict::Diverging),
+        cv(ConvergenceVerdict::Exhausted),
+        metric_num(doc, "srv.conv.iterations", "p50")
+            .map(|v| format!("{v:.0}"))
+            .unwrap_or_else(|| "-".into()),
+    ));
     out.push_str("latency µs\n");
     for (label, key) in [
         ("queue   ", "srv.lat.queue_us"),
@@ -177,6 +196,7 @@ fn main() {
     let mut interval = Duration::from_millis(1000);
     let mut frames: Option<u64> = None;
     let mut once = false;
+    let mut json = false;
 
     let mut i = 0;
     while i < args.len() {
@@ -198,13 +218,14 @@ fn main() {
                 );
             }
             "--once" => once = true,
+            "--json" => json = true,
             a if addr.is_none() && !a.starts_with("--") => addr = Some(a.to_string()),
             _ => usage(),
         }
         i += 1;
     }
     let addr = addr.unwrap_or_else(|| usage());
-    if once {
+    if once || json {
         frames = Some(1);
     }
 
@@ -231,7 +252,19 @@ fn main() {
             Ok(_) => {}
             Err(e) => fail(&format!("read: {e}")),
         }
+        // A stats response is one JSON object carrying a `stats`
+        // manifest; anything else (a proxy error page, a truncated
+        // line, a different protocol) must not reach the scrapers.
+        let body = line.trim();
+        if !(body.starts_with('{') && body.ends_with('}') && body.contains("\"stats\"")) {
+            let head: String = body.chars().take(80).collect();
+            fail(&format!("malformed stats response from {addr}: {head:?}"));
+        }
         n += 1;
+        if json {
+            println!("{body}");
+            break;
+        }
         prev = render(&line, &prev, &addr, n, !once);
         if let Some(max) = frames {
             if n >= max {

@@ -175,6 +175,12 @@ pub fn result_json(report: &RunReport, exp: &Experiment) -> String {
     m.config("cores", exp.system.side * exp.system.side);
     m.config("ops", exp.ops_per_core);
     m.config("seed", exp.seed);
+    // The verdict is computed from simulated quantities whether or not
+    // observability is recording, so this row never breaks the
+    // byte-identity contract between instrumented and plain runs.
+    if let Some(v) = report.verdict {
+        m.config("convergence", v.label());
+    }
     m.metrics
         .counter_add("run.exec_time_ps", report.exec_time.as_ps());
     m.metrics.counter_add("run.messages", report.messages);

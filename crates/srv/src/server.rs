@@ -35,9 +35,10 @@ use crate::proto::{
 };
 use sctm_core::Mode;
 use sctm_engine::par::par_map;
+use sctm_engine::stats::Histogram;
 use sctm_obs::reqlog::{json_line, RequestLog};
 use sctm_obs::svc::{SvcCounter, SvcPhase, SvcStats, SVC_STATS_VERSION};
-use sctm_obs::{json_escape, span, Manifest};
+use sctm_obs::{json_escape, span, ConvergenceVerdict, Manifest};
 use std::collections::VecDeque;
 use std::io::{BufRead, Write};
 use std::sync::atomic::{AtomicU64, Ordering};
@@ -93,6 +94,24 @@ struct Shared {
     svc: SvcStats,
     log: Option<Arc<RequestLog>>,
     next_seq: AtomicU64,
+    /// Convergence rollup across completed self-correction runs: run
+    /// counts per verdict and an iterations-per-run histogram, served
+    /// as `srv.conv.*` by the `stats`/`metrics` verbs.
+    conv: Mutex<ConvRollup>,
+}
+
+struct ConvRollup {
+    runs: std::collections::BTreeMap<&'static str, u64>,
+    iterations: Histogram,
+}
+
+impl ConvRollup {
+    fn new() -> Self {
+        ConvRollup {
+            runs: std::collections::BTreeMap::new(),
+            iterations: Histogram::new(),
+        }
+    }
 }
 
 fn lock<T>(m: &Mutex<T>) -> std::sync::MutexGuard<'_, T> {
@@ -150,6 +169,7 @@ impl Server {
             svc: SvcStats::new(),
             log,
             next_seq: AtomicU64::new(1),
+            conv: Mutex::new(ConvRollup::new()),
         });
         let worker = Arc::clone(&shared);
         let scheduler = std::thread::Builder::new()
@@ -266,6 +286,18 @@ impl Server {
         m.metrics.gauge_set("srv.cache.bytes", cs.bytes as f64);
         m.metrics
             .gauge_set("srv.queue.depth", self.queue_depth() as f64);
+        {
+            // Fixed verdict set, zeros included: the schema never
+            // depends on which verdicts have occurred yet.
+            let conv = lock(&self.shared.conv);
+            for v in ConvergenceVerdict::ALL {
+                let n = conv.runs.get(v.label()).copied().unwrap_or(0);
+                m.metrics
+                    .counter_add(format!("srv.conv.runs.{}", v.label()), n);
+            }
+            m.metrics
+                .hist_merge("srv.conv.iterations", &conv.iterations);
+        }
         self.shared.svc.snapshot().publish(&mut m.metrics);
         m
     }
@@ -366,6 +398,14 @@ fn scheduler_loop(shared: &Arc<Shared>) {
                             svc.incr(SvcCounter::BudgetExhausted);
                         }
                     }
+                    // Conv rollup lands before the reply for the same
+                    // reason the counters above do: a client polling
+                    // `stats` after its answer sees itself counted.
+                    if let Some(v) = done.verdict {
+                        let mut conv = lock(&shared.conv);
+                        *conv.runs.entry(v).or_insert(0) += 1;
+                        conv.iterations.record(done.conv_iterations);
+                    }
                     let respond0 = Instant::now();
                     let _ = job.reply.send(done.line);
                     let respond_us = us(respond0.elapsed());
@@ -395,6 +435,9 @@ fn scheduler_loop(shared: &Arc<Shared>) {
                     if let Some(kind) = done.error_kind {
                         fields.push(("error_kind", quoted(kind)));
                     }
+                    if let Some(v) = done.verdict {
+                        fields.push(("verdict", quoted(v)));
+                    }
                     fields.push(("queue_us", queue_us.to_string()));
                     fields.push(("probe_us", done.probe_us.to_string()));
                     fields.push(("execute_us", done.execute_us.to_string()));
@@ -422,6 +465,10 @@ struct JobDone {
     probe_us: u64,
     /// Simulation work: capture (on a miss) plus replay/execute.
     execute_us: u64,
+    /// Convergence verdict label (self-correction runs only).
+    verdict: Option<&'static str>,
+    /// Self-correction iterations the run took (0 for other modes).
+    conv_iterations: u64,
 }
 
 /// Execute one request, satisfying trace-mode captures from the cache.
@@ -486,6 +533,8 @@ fn run_job(shared: &Shared, req: &RunRequest) -> JobDone {
                 error_kind: None,
                 probe_us,
                 execute_us,
+                verdict: out.report.verdict.map(|v| v.label()),
+                conv_iterations: out.report.iterations.as_ref().map_or(0, |v| v.len() as u64),
             }
         }
         Err(err) => JobDone {
@@ -495,6 +544,8 @@ fn run_job(shared: &Shared, req: &RunRequest) -> JobDone {
             error_kind: Some(error_kind(&err)),
             probe_us,
             execute_us,
+            verdict: None,
+            conv_iterations: 0,
         },
     }
 }

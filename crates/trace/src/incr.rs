@@ -173,6 +173,39 @@ pub struct IncrPassStats {
     pub checkpoint_bytes: u64,
     /// Why the pass fell back to full replay, if it did.
     pub fallback: Option<&'static str>,
+    /// This pass's trace length.
+    pub trace_len: u64,
+    /// The previous pass's trace length (0 on the first pass). A
+    /// length-mismatch fallback is exactly `trace_len != prev_len` —
+    /// the churn quantity the §P6 flagship discussion is about.
+    pub prev_len: u64,
+}
+
+impl IncrPassStats {
+    /// The pass kind as a stable lowercase label, for decision
+    /// telemetry and reports.
+    pub fn kind_label(&self) -> &'static str {
+        match self.kind {
+            PassKind::Full => "full",
+            PassKind::Spliced => "spliced",
+            PassKind::Resumed { .. } => "resumed",
+        }
+    }
+
+    /// The fallback cause as a canonical snake_case identifier for the
+    /// decision-telemetry namespace (`sctm.conv.cause.<cause>`); the
+    /// raw [`IncrPassStats::fallback`] strings are a stable wire
+    /// contract of their own and stay as they are.
+    pub fn cause(&self) -> Option<&'static str> {
+        self.fallback.map(|f| match f {
+            "first-pass" => "first_pass",
+            "length-mismatch" => "length_churn",
+            "no-snapshot" => "no_snapshot",
+            "no-checkpoints" => "no_checkpoints",
+            "frontier-too-early" => "frontier_too_early",
+            _ => "unknown",
+        })
+    }
 }
 
 /// Working arrays of one in-flight pass.
@@ -265,6 +298,8 @@ impl IncrReplayer {
             epochs_replayed: total_epochs as u64,
             checkpoint_bytes: 0,
             fallback: None,
+            trace_len: n as u64,
+            prev_len: self.prev.as_ref().map_or(0, |p| p.key.len() as u64),
         };
 
         // Diff against the previous pass (if shapes line up). Checkpoint

@@ -1,0 +1,197 @@
+//! Convergence-observability contract (PR8 tentpole): the drift
+//! ledger, the divergence detectors, and the incremental-replay
+//! decision telemetry, pinned end to end.
+//!
+//! Three layers of guarantee:
+//!
+//! 1. **Decision telemetry is truthful.** The 64-core fft flagship —
+//!    the documented §P6 case where every re-capture changes the trace
+//!    length — must report `full` passes caused by `length_churn`,
+//!    while a run whose correction table cannot move (damping 0)
+//!    produces an identical second capture and must report `spliced`.
+//! 2. **Detectors fire on the arithmetic they claim to detect.** A
+//!    deterministic feedback fixture (measured = target + β·(target −
+//!    installed)) oscillates forever undamped and converges once
+//!    damped; the verdicts must follow.
+//! 3. **Telemetry never touches results.** The service result JSON —
+//!    the deterministic simulated-quantity manifest — must be
+//!    byte-identical with conv telemetry on and off, at capture thread
+//!    counts 1 and 4.
+
+use sctm::obs::{self, ConvergenceVerdict};
+use sctm::prelude::*;
+use std::sync::Mutex;
+
+/// Conv telemetry and the metric registry are process-global; tests
+/// that flip `obs::set_enabled` or read `conv_snapshot` serialize here.
+static OBS: Mutex<()> = Mutex::new(());
+
+fn lock() -> std::sync::MutexGuard<'static, ()> {
+    OBS.lock().unwrap_or_else(|p| p.into_inner())
+}
+
+/// The §P6 flagship: 64-core fft, where self-correction changes the
+/// message mix — and therefore the trace length — on every iteration,
+/// so incremental replay must fall back to full passes and say why.
+#[test]
+fn flagship_reports_full_passes_caused_by_length_churn() {
+    let _g = lock();
+    obs::set_enabled(true);
+    obs::reset_conv();
+    let exp = Experiment::new(SystemConfig::new(8, NetworkKind::Omesh), Kernel::Fft).with_ops(160);
+    let out = exp
+        .execute(&RunSpec::self_correction(3))
+        .expect("valid spec");
+    obs::set_enabled(false);
+    obs::drain();
+
+    let runs = obs::conv_snapshot();
+    obs::reset_conv();
+    let run = runs
+        .iter()
+        .find(|r| r.network == "omesh" && r.workload == "fft")
+        .expect("flagship run recorded");
+    assert!(run.iterations.len() >= 2, "flagship exited too early");
+
+    let first = run.iterations[0].incr.as_ref().expect("iter 1 decision");
+    assert_eq!(first.kind, "full");
+    assert_eq!(first.cause, Some("first_pass"));
+
+    let second = run.iterations[1].incr.as_ref().expect("iter 2 decision");
+    assert_eq!(
+        second.kind, "full",
+        "flagship iteration 2 should fall back to a full pass"
+    );
+    assert_eq!(
+        second.cause,
+        Some("length_churn"),
+        "the fallback cause must be the trace-length change (prev {} vs {})",
+        second.prev_len,
+        second.trace_len
+    );
+    assert_ne!(
+        second.trace_len, second.prev_len,
+        "length_churn reported but lengths match"
+    );
+    assert!(out.report.verdict.is_some(), "run carries no verdict");
+}
+
+/// Damping 0 freezes the correction table, so the second capture is
+/// message-for-message identical to the first: the dirty set is empty
+/// and the pass must splice, then exit on zero drift.
+#[test]
+fn frozen_factors_report_spliced_and_converge_on_drift() {
+    let _g = lock();
+    obs::set_enabled(true);
+    obs::reset_conv();
+    let exp = Experiment::new(SystemConfig::new(4, NetworkKind::Omesh), Kernel::Fft).with_ops(160);
+    let out = exp
+        .execute(
+            &RunSpec::self_correction(3)
+                .with_damping(0.0)
+                .with_factor_epsilon(0.0),
+        )
+        .expect("valid spec");
+    obs::set_enabled(false);
+    obs::drain();
+
+    let runs = obs::conv_snapshot();
+    obs::reset_conv();
+    let run = runs
+        .iter()
+        .find(|r| r.network == "omesh" && r.workload == "fft")
+        .expect("run recorded");
+    assert!(run.iterations.len() >= 2, "needs a second capture");
+    let second = run.iterations[1].incr.as_ref().expect("iter 2 decision");
+    assert_eq!(
+        second.kind, "spliced",
+        "identical re-capture should splice, not replay (cause {:?})",
+        second.cause
+    );
+    assert_eq!(second.dirty, 0, "identical capture left a dirty set");
+    assert_eq!(out.report.verdict, Some(ConvergenceVerdict::ConvergedDrift));
+    assert_eq!(run.verdict, ConvergenceVerdict::ConvergedDrift);
+}
+
+/// Deterministic feedback fixture mirroring the loop's exit and
+/// verdict arithmetic. Each iteration measures
+/// `measured = target + beta * (target - installed)` — the measured
+/// time overshoots by however much the installed correction missed —
+/// and installs `(1-alpha)*installed + alpha*measured`. Exactly the
+/// drift exit (0.5% of the estimate) and history the real loop keeps.
+fn fixture_verdict(alpha: f64, beta: f64, max_iters: usize) -> ConvergenceVerdict {
+    let target = 1_000_000.0f64;
+    let mut installed = 800_000.0f64;
+    let mut prev_est = installed;
+    let mut drift_hist: Vec<u64> = Vec::new();
+    let mut signed_hist: Vec<f64> = Vec::new();
+    let mut last_move = 0.0f64;
+    for _ in 1..=max_iters {
+        let measured = target + beta * (target - installed);
+        let next = (1.0 - alpha) * installed + alpha * measured;
+        let signed = next - installed;
+        installed = next;
+        let drift = (measured - prev_est).abs();
+        prev_est = measured;
+        drift_hist.push(drift as u64);
+        signed_hist.push(signed);
+        last_move = signed.abs();
+        if drift * 200.0 < measured {
+            return ConvergenceVerdict::ConvergedDrift;
+        }
+    }
+    obs::classify_unconverged(&drift_hist, &signed_hist, last_move, 1.0)
+}
+
+#[test]
+fn oscillation_fixture_fires_undamped_and_clears_damped() {
+    // Undamped unit feedback: the installed value leaps to each
+    // measurement, the error flips sign with constant magnitude, and
+    // the run burns every iteration — the classic oscillation.
+    assert_eq!(
+        fixture_verdict(1.0, 1.0, 6),
+        ConvergenceVerdict::Oscillating
+    );
+    // Damping 0.4 on the same plant contracts the error by 0.2 per
+    // iteration: the drift exit fires within the budget.
+    assert_eq!(
+        fixture_verdict(0.4, 1.0, 6),
+        ConvergenceVerdict::ConvergedDrift
+    );
+    // Feedback gain past the stability boundary grows the error
+    // monotonically; blow-up outranks the sign-flip detector.
+    assert_eq!(fixture_verdict(1.0, 1.5, 6), ConvergenceVerdict::Diverging);
+}
+
+/// The deterministic result manifest (what `sctmd` returns and the
+/// capture cache keys on) must not change by a byte when conv
+/// telemetry records, at either capture thread count.
+#[test]
+fn result_json_is_byte_identical_with_conv_telemetry_on_and_off() {
+    let _g = lock();
+    let run = |obs_on: bool, threads: usize| {
+        obs::set_enabled(obs_on);
+        let exp = Experiment::new(SystemConfig::new(4, NetworkKind::Omesh), Kernel::Fft)
+            .with_ops(160)
+            .with_capture_threads(threads);
+        let out = exp
+            .execute(&RunSpec::self_correction(3))
+            .expect("valid spec");
+        obs::set_enabled(false);
+        obs::drain();
+        obs::reset_conv();
+        sctm_srv::result_json(&out.report, &exp)
+    };
+    for threads in [1usize, 4] {
+        let plain = run(false, threads);
+        let instrumented = run(true, threads);
+        assert_eq!(
+            plain, instrumented,
+            "conv telemetry changed the result manifest at {threads} capture threads"
+        );
+        assert!(
+            plain.contains(r#""convergence""#),
+            "result manifest lost its verdict row"
+        );
+    }
+}

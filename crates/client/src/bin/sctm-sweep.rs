@@ -1,0 +1,137 @@
+//! Pipelined sweep driver for one or more `sctmd` instances.
+//!
+//! Reads request lines from stdin, distributes them round-robin across
+//! the given addresses, pipelines each partition over a pooled
+//! connection, and prints the responses **in input order** — so a
+//! sweep script is `generate-configs | sctm-sweep --addr A --addr B`.
+//!
+//! ```text
+//! sctm-sweep --addr HOST:PORT [--addr HOST:PORT ...]
+//!            [--stats]      print one stats line per address after the sweep
+//!            [--shutdown]   ask every address to drain and exit afterwards
+//!            [--expect-ok]  exit 1 if any response is not status=ok
+//! ```
+//!
+//! Used by CI's two-process sharded smoke test: drive one workload
+//! through two instances, then assert from the `--stats` lines that the
+//! cluster captured it exactly once.
+
+use sctm_client::{Client, ClientError, Response};
+use std::io::BufRead;
+
+fn main() {
+    match run() {
+        Ok(code) => std::process::exit(code),
+        Err(e) => {
+            eprintln!("sctm-sweep: {e}");
+            std::process::exit(2);
+        }
+    }
+}
+
+fn run() -> Result<i32, ClientError> {
+    let mut addrs: Vec<String> = Vec::new();
+    let mut stats = false;
+    let mut shutdown = false;
+    let mut expect_ok = false;
+    let mut args = std::env::args().skip(1);
+    while let Some(arg) = args.next() {
+        match arg.as_str() {
+            "--addr" => {
+                let v = args
+                    .next()
+                    .ok_or_else(|| ClientError::Protocol("--addr needs HOST:PORT".into()))?;
+                addrs.push(v);
+            }
+            "--stats" => stats = true,
+            "--shutdown" => shutdown = true,
+            "--expect-ok" => expect_ok = true,
+            "--help" | "-h" => {
+                eprintln!(
+                    "usage: sctm-sweep --addr HOST:PORT [--addr ...] \
+                     [--stats] [--shutdown] [--expect-ok] < requests.txt"
+                );
+                return Ok(0);
+            }
+            other => {
+                return Err(ClientError::Protocol(format!("unknown argument '{other}'")));
+            }
+        }
+    }
+    if addrs.is_empty() {
+        return Err(ClientError::Protocol(
+            "at least one --addr is required".into(),
+        ));
+    }
+
+    let clients: Vec<Client> = addrs
+        .iter()
+        .map(|a| Client::connect(a))
+        .collect::<Result<_, _>>()?;
+
+    let lines: Vec<String> = std::io::stdin()
+        .lock()
+        .lines()
+        .collect::<Result<_, _>>()
+        .map_err(|e| ClientError::Io(e.to_string()))?;
+    let lines: Vec<String> = lines.into_iter().filter(|l| !l.trim().is_empty()).collect();
+
+    // Partition round-robin, pipeline each partition concurrently, then
+    // reassemble by original index.
+    let mut parts: Vec<Vec<(usize, String)>> = vec![Vec::new(); clients.len()];
+    for (i, line) in lines.iter().enumerate() {
+        parts[i % clients.len()].push((i, line.clone()));
+    }
+    let mut responses: Vec<Option<Response>> = vec![None; lines.len()];
+    let results: Vec<Result<Vec<Response>, ClientError>> = std::thread::scope(|s| {
+        let handles: Vec<_> = clients
+            .iter()
+            .zip(&parts)
+            .map(|(client, part)| {
+                s.spawn(move || {
+                    let batch: Vec<String> = part.iter().map(|(_, l)| l.clone()).collect();
+                    client.pipeline(&batch)
+                })
+            })
+            .collect();
+        handles.into_iter().map(|h| h.join().unwrap()).collect()
+    });
+    for (part, result) in parts.iter().zip(results) {
+        let batch = result?;
+        for ((idx, _), resp) in part.iter().zip(batch) {
+            responses[*idx] = Some(resp);
+        }
+    }
+
+    let mut all_ok = true;
+    for resp in responses.into_iter().map(|r| r.expect("all answered")) {
+        match resp {
+            Response::Ok { line } => println!("{line}"),
+            Response::Busy { retry_after_ms } => {
+                all_ok = false;
+                println!(r#"{{"status":"busy","retry_after_ms":{retry_after_ms}}}"#);
+            }
+            Response::Error { kind, message } => {
+                all_ok = false;
+                eprintln!("sctm-sweep: server error [{kind}]: {message}");
+                println!(r#"{{"status":"error","kind":"{kind}"}}"#);
+            }
+            Response::Timeout { waited_ms } => {
+                all_ok = false;
+                println!(r#"{{"status":"timeout","waited_ms":{waited_ms}}}"#);
+            }
+        }
+    }
+
+    if stats {
+        for client in &clients {
+            println!("{}", client.stats()?);
+        }
+    }
+    if shutdown {
+        for client in &clients {
+            client.shutdown()?;
+        }
+    }
+    Ok(if expect_ok && !all_ok { 1 } else { 0 })
+}

@@ -5,7 +5,19 @@
 //! sctmd --listen 127.0.0.1:4710     # serve the line protocol over TCP
 //! sctmd --stdin --cache-mb 64 --queue 32 --timeout-ms 10000
 //! sctmd --listen 127.0.0.1:4710 --log-dir /var/log/sctmd
+//! sctmd --listen 127.0.0.1:4710 --workers 8 --sched steal
+//! sctmd --listen 127.0.0.1:4711 \
+//!       --peers 127.0.0.1:4710,127.0.0.1:4711   # shard the capture cache
 //! ```
+//!
+//! Scheduling: `--sched steal` (default) pipelines each request's
+//! probe → capture → replay → render stages across a work-stealing
+//! pool of `--workers` threads (default `SCTM_THREADS`, else all
+//! cores); `--sched batch` restores the original serial batch cycle.
+//! Shard mode: `--peers` lists every instance's *listen* address
+//! (comma-separated, including this one — matched against `--listen`,
+//! or set explicitly with `--shard-self`); capture misses on keys
+//! owned by a peer are forwarded over the `fwd` verb.
 //!
 //! One request per line, one JSON response line per request; see
 //! `DESIGN.md` §10–12 and the README quickstart for the protocol.
@@ -18,7 +30,8 @@
 
 use sctm_obs::json_escape;
 use sctm_obs::reqlog::{json_line, RequestLog};
-use sctm_srv::{serve_lines, serve_tcp, Server, ServerConfig};
+use sctm_srv::shard::ShardRing;
+use sctm_srv::{serve_lines, serve_tcp, SchedMode, Server, ServerConfig, Shard};
 use std::sync::Arc;
 
 /// One structured daemon event on stderr: `{"ts_ms":…,"event":"…",…}`.
@@ -46,7 +59,9 @@ fn usage() -> ! {
             "message",
             quoted(
                 "sctmd (--stdin | --listen ADDR) [--cache-mb N] [--queue N] \
-                 [--timeout-ms N] [--log-dir DIR]",
+                 [--timeout-ms N] [--log-dir DIR] [--workers N] \
+                 [--sched steal|batch] [--read-timeout-ms N] \
+                 [--peers A,B,...] [--shard-self ADDR]",
             ),
         )],
     );
@@ -60,7 +75,15 @@ fn main() {
     let mut log_dir: Option<String> = std::env::var("SCTM_LOG")
         .ok()
         .filter(|v| !matches!(v.as_str(), "" | "0" | "false" | "off"));
+    let mut peers: Vec<String> = Vec::new();
+    let mut shard_self: Option<String> = None;
     let mut cfg = ServerConfig::default();
+    if let Some(ms) = std::env::var("SCTM_READ_TIMEOUT_MS")
+        .ok()
+        .and_then(|v| v.trim().parse::<u64>().ok())
+    {
+        cfg.read_timeout_ms = ms;
+    }
 
     let mut i = 0;
     let num = |args: &[String], i: &mut usize| -> u64 {
@@ -79,6 +102,31 @@ fn main() {
             "--cache-mb" => cfg.cache_bytes = (num(&args, &mut i) as usize) << 20,
             "--queue" => cfg.queue_cap = num(&args, &mut i) as usize,
             "--timeout-ms" => cfg.default_timeout_ms = num(&args, &mut i),
+            "--read-timeout-ms" => cfg.read_timeout_ms = num(&args, &mut i),
+            "--workers" => cfg.workers = num(&args, &mut i) as usize,
+            "--sched" => {
+                i += 1;
+                cfg.sched = match args.get(i).map(String::as_str) {
+                    Some("steal") => SchedMode::WorkSteal,
+                    Some("batch") => SchedMode::Batch,
+                    _ => usage(),
+                };
+            }
+            "--peers" => {
+                i += 1;
+                peers = args
+                    .get(i)
+                    .cloned()
+                    .unwrap_or_else(|| usage())
+                    .split(',')
+                    .map(|p| p.trim().to_string())
+                    .filter(|p| !p.is_empty())
+                    .collect();
+            }
+            "--shard-self" => {
+                i += 1;
+                shard_self = Some(args.get(i).cloned().unwrap_or_else(|| usage()));
+            }
             "--log-dir" => {
                 i += 1;
                 log_dir = Some(args.get(i).cloned().unwrap_or_else(|| usage()));
@@ -111,7 +159,40 @@ fn main() {
         }
     });
 
-    let server = Server::start_logged(cfg, log);
+    let shard = if peers.is_empty() {
+        None
+    } else {
+        // The self address defaults to the listen address; stdin mode
+        // has no listen address, so sharded stdin requires --shard-self.
+        let self_addr = shard_self.or_else(|| listen.clone()).unwrap_or_else(|| {
+            log_stderr(
+                "error",
+                &[(
+                    "message",
+                    quoted("--peers with --stdin requires --shard-self"),
+                )],
+            );
+            std::process::exit(2);
+        });
+        match ShardRing::new(peers, &self_addr) {
+            Ok(ring) => {
+                log_stderr(
+                    "shard",
+                    &[
+                        ("peers", ring.peers().len().to_string()),
+                        ("self", quoted(ring.self_addr())),
+                    ],
+                );
+                Some(Shard::new(ring))
+            }
+            Err(e) => {
+                log_stderr("error", &[("message", quoted(&e.to_string()))]);
+                std::process::exit(2);
+            }
+        }
+    };
+
+    let server = Server::start_sharded(cfg, shard, log);
     if stdin_mode {
         let stdin = std::io::stdin();
         let mut stdout = std::io::stdout().lock();

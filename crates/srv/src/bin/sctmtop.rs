@@ -61,6 +61,8 @@ struct Frame {
     timeouts: u64,
     hits: u64,
     misses: u64,
+    steals: u64,
+    tasks: u64,
 }
 
 fn rate(prev: u64, cur: u64, dt: f64) -> f64 {
@@ -99,6 +101,8 @@ fn render(doc: &str, prev: &Frame, addr: &str, frame_no: u64, clear: bool) -> Fr
         timeouts: counter(doc, "srv.timeouts"),
         hits: counter(doc, "srv.cache.hits"),
         misses: counter(doc, "srv.cache.misses"),
+        steals: counter(doc, "srv.sched.steals"),
+        tasks: counter(doc, "srv.sched.tasks"),
     };
     let dt = prev
         .at
@@ -153,11 +157,41 @@ fn render(doc: &str, prev: &Frame, addr: &str, frame_no: u64, clear: bool) -> Fr
         counter(doc, "srv.cache.evictions"),
     ));
     out.push_str(&format!(
-        "queue      depth {:>4}   peak {:>4}   in-flight {:>4}\n\n",
+        "queue      depth {:>4}   peak {:>4}   in-flight {:>4}\n",
         g("srv.queue.depth") as u64,
         g("srv.queue.peak") as u64,
         g("srv.in_flight") as u64,
     ));
+    out.push_str(&format!(
+        "sched      workers {:>3}   busy {:>3}   tasks {:>8} ({:>7.1}/s)   steals {:>6} ({:>6.1}/s)\n",
+        g("srv.sched.workers") as u64,
+        g("srv.sched.busy") as u64,
+        cur.tasks,
+        rate(prev.tasks, cur.tasks, dt),
+        cur.steals,
+        rate(prev.steals, cur.steals, dt),
+    ));
+    out.push_str(&format!(
+        "           stage q   probe {:>4}   capture {:>4}   replay {:>4}   render {:>4}\n",
+        g("srv.sched.queue.probe") as u64,
+        g("srv.sched.queue.capture") as u64,
+        g("srv.sched.queue.replay") as u64,
+        g("srv.sched.queue.render") as u64,
+    ));
+    // Shard rows only matter in multi-instance mode; a 0-peer ring
+    // means the daemon runs unsharded, so keep the screen quiet then.
+    let shard_peers = g("srv.shard.peers") as u64;
+    if shard_peers > 0 {
+        out.push_str(&format!(
+            "shard      peers {:>3}   owned {:>6}   forwarded {:>6}   served {:>6}   fwd-errors {:>4}\n",
+            shard_peers,
+            counter(doc, "srv.shard.owned"),
+            counter(doc, "srv.shard.forwarded"),
+            counter(doc, "srv.shard.fwd_served"),
+            counter(doc, "srv.shard.fwd_errors"),
+        ));
+    }
+    out.push('\n');
     let cv = |v: ConvergenceVerdict| counter(doc, &format!("srv.conv.runs.{}", v.label()));
     let converged: u64 = ConvergenceVerdict::ALL
         .iter()

@@ -132,6 +132,27 @@ impl CaptureCache {
         }
     }
 
+    /// Non-blocking probe: the cached trace if `key` is `Ready`, else
+    /// `None` (absent *or* in flight — the caller cannot tell, and must
+    /// go through [`Self::try_get_or_capture`] to join the
+    /// single-flight). A `Some` counts a hit and refreshes LRU recency,
+    /// exactly like a hit inside `get_or_capture`, so a probe that
+    /// short-circuits the capture stage leaves the same counter trail.
+    pub fn try_get(&self, key: CaptureKey) -> Option<Arc<TraceLog>> {
+        let mut inner = lock(&self.inner);
+        inner.clock += 1;
+        let now = inner.clock;
+        match inner.slots.get_mut(&key) {
+            Some(Slot::Ready { log, last_used, .. }) => {
+                let log = Arc::clone(log);
+                *last_used = now;
+                inner.stats.hits += 1;
+                Some(log)
+            }
+            _ => None,
+        }
+    }
+
     /// Return the cached capture for `key`, or run `produce` to create
     /// it. Exactly one caller produces per key; concurrent callers for
     /// the same key block until the trace is ready. The bool is `true`
@@ -139,6 +160,29 @@ impl CaptureCache {
     pub fn get_or_capture<F>(&self, key: CaptureKey, produce: F) -> (Arc<TraceLog>, bool)
     where
         F: FnOnce() -> TraceLog,
+    {
+        match self.try_get_or_capture(key, || Ok::<_, std::convert::Infallible>(produce())) {
+            Ok(out) => out,
+            Err(e) => match e {},
+        }
+    }
+
+    /// [`Self::get_or_capture`] with a fallible producer — the shape the
+    /// shard-forwarding path needs, where "produce" may be a network
+    /// fetch from the owning peer that can fail with a typed error.
+    ///
+    /// On `Err` the `Pending` slot is released (same drop-guard that
+    /// covers panics) and every waiter is woken: one of them becomes
+    /// the new producer and retries. The error never poisons the key —
+    /// a failed forward followed by a successful local capture is the
+    /// normal degraded sequence, covered in `tests/protocol_fuzz.rs`.
+    pub fn try_get_or_capture<F, E>(
+        &self,
+        key: CaptureKey,
+        produce: F,
+    ) -> Result<(Arc<TraceLog>, bool), E>
+    where
+        F: FnOnce() -> Result<TraceLog, E>,
     {
         let mut inner = lock(&self.inner);
         let mut waited = false;
@@ -150,7 +194,7 @@ impl CaptureCache {
                     let log = Arc::clone(log);
                     *last_used = now;
                     inner.stats.hits += 1;
-                    return (log, true);
+                    return Ok((log, true));
                 }
                 Some(Slot::Pending) => {
                     if !waited {
@@ -171,7 +215,9 @@ impl CaptureCache {
             key,
             armed: true,
         };
-        let log = Arc::new(produce());
+        // `?` leaves the guard armed: its drop removes the Pending slot
+        // and wakes the waiters, same as the panic path.
+        let log = Arc::new(produce()?);
         guard.armed = false;
         let bytes = log.to_csv_string().len();
 
@@ -190,7 +236,7 @@ impl CaptureCache {
         self.evict_to_budget(&mut inner, key);
         drop(inner);
         self.ready.notify_all();
-        (log, false)
+        Ok((log, false))
     }
 
     /// Evict least-recently-used `Ready` entries until the byte budget
@@ -317,6 +363,68 @@ mod tests {
         // Each of the 7 blocked callers counts one single-flight wait,
         // at most — late arrivals that found the slot Ready count none.
         assert!(s.single_flight_waits <= 7, "{s:?}");
+    }
+
+    #[test]
+    fn try_get_probes_without_blocking_or_capturing() {
+        let cache = CaptureCache::new(usize::MAX);
+        let key = CaptureKey::new("fft", 2, 120, 3);
+        // Absent: no hit, no miss, no production.
+        assert!(cache.try_get(key).is_none());
+        assert_eq!(cache.stats(), CacheStats::default());
+        // Ready: counts a hit and bumps recency, like get_or_capture.
+        cache.get_or_capture(key, || capture(120));
+        assert!(cache.try_get(key).is_some());
+        let s = cache.stats();
+        assert_eq!((s.hits, s.misses), (1, 1));
+    }
+
+    #[test]
+    fn failed_producer_frees_the_pending_slot() {
+        let cache = CaptureCache::new(usize::MAX);
+        let key = CaptureKey::new("fft", 2, 150, 5);
+        let err = cache
+            .try_get_or_capture(key, || Err::<TraceLog, &str>("peer hung up"))
+            .unwrap_err();
+        assert_eq!(err, "peer hung up");
+        // The error did not poison the key: a fallback producer runs.
+        let (_, hit) = cache.get_or_capture(key, || capture(150));
+        assert!(!hit);
+        let s = cache.stats();
+        // Both attempts found no Ready entry, so both count as misses.
+        assert_eq!(s.misses, 2);
+        assert_eq!(s.entries, 1);
+    }
+
+    #[test]
+    fn failed_producer_wakes_waiters_who_then_produce() {
+        let cache = std::sync::Arc::new(CaptureCache::new(usize::MAX));
+        let key = CaptureKey::new("fft", 2, 150, 7);
+        let (entered_tx, entered_rx) = std::sync::mpsc::channel::<()>();
+        let (fail_tx, fail_rx) = std::sync::mpsc::channel::<()>();
+        std::thread::scope(|s| {
+            let c = std::sync::Arc::clone(&cache);
+            s.spawn(move || {
+                let _ = c.try_get_or_capture(key, || {
+                    entered_tx.send(()).unwrap();
+                    fail_rx.recv().unwrap();
+                    Err::<TraceLog, &str>("forward failed")
+                });
+            });
+            entered_rx.recv().unwrap(); // producer holds the Pending slot
+            let c = std::sync::Arc::clone(&cache);
+            let waiter = s.spawn(move || c.get_or_capture(key, || capture(150)));
+            // Give the waiter time to block on the condvar, then fail
+            // the first producer; the waiter must take over and finish.
+            std::thread::sleep(std::time::Duration::from_millis(20));
+            fail_tx.send(()).unwrap();
+            let (log, hit) = waiter.join().unwrap();
+            assert!(!hit);
+            assert!(!log.is_empty());
+        });
+        let s = cache.stats();
+        assert_eq!(s.entries, 1);
+        assert_eq!(s.misses, 2, "{s:?}");
     }
 
     #[test]

@@ -19,6 +19,7 @@
 //! byte-identical between a cold and a warm run, between the service
 //! and a direct [`Experiment::execute`], and at any `SCTM_THREADS`.
 
+use sctm_core::trace::TraceLog;
 use sctm_core::{
     kernel_from_label, Experiment, Mode, NetworkKind, RunReport, RunSpec, SctmError, SystemConfig,
 };
@@ -36,10 +37,26 @@ pub struct RunRequest {
     pub timeout_ms: Option<u64>,
 }
 
+/// A peer-to-peer capture fetch in shard mode: the non-owning instance
+/// asks the key's owner to produce (or serve) the capture. Carries the
+/// workload fields, not the hash, so the owner recomputes the FNV key
+/// itself — a version-skewed peer can never poison a foreign cache
+/// slot with a mislabeled trace.
+#[derive(Clone, Debug)]
+pub struct FwdRequest {
+    /// Originating request id, echoed for log correlation.
+    pub id: String,
+    /// Workload side of the capture. The network field is irrelevant
+    /// (captures run on the analytic model) and fixed to the default.
+    pub experiment: Experiment,
+}
+
 /// Any protocol line.
 #[derive(Clone, Debug)]
 pub enum Request {
     Run(Box<RunRequest>),
+    /// Shard-mode capture fetch from a peer instance.
+    Fwd(Box<FwdRequest>),
     /// Versioned JSON telemetry snapshot (`SVC_STATS_VERSION`).
     Stats,
     /// Prometheus text exposition 0.0.4; the only multi-line response,
@@ -77,6 +94,7 @@ pub fn parse_request(line: &str) -> Result<Request, SctmError> {
         "metrics" => return bare(Request::Metrics, toks),
         "ping" => return bare(Request::Ping, toks),
         "shutdown" => return bare(Request::Shutdown, toks),
+        "fwd" => return parse_fwd(toks),
         "run" => {}
         other => return Err(invalid(format!("unknown verb '{other}'"))),
     }
@@ -150,6 +168,95 @@ pub fn parse_request(line: &str) -> Result<Request, SctmError> {
         spec,
         timeout_ms,
     })))
+}
+
+/// Parse the tokens after a `fwd` verb:
+/// `fwd kernel=<label> side=N ops=N seed=N id=<id>`. Same defaults as
+/// `run` for the workload fields; only the capture-identity keys are
+/// accepted — a `fwd` can never smuggle replay knobs.
+fn parse_fwd(toks: std::str::SplitWhitespace<'_>) -> Result<Request, SctmError> {
+    let mut kernel = None;
+    let mut side = 4usize;
+    let mut ops = 600usize;
+    let mut seed = 1u64;
+    let mut id = String::new();
+    for tok in toks {
+        let (k, v) = tok
+            .split_once('=')
+            .ok_or_else(|| invalid(format!("token '{tok}' is not key=value")))?;
+        match k {
+            "kernel" => kernel = Some(v.to_string()),
+            "side" => side = parse_num(k, v)?,
+            "ops" => ops = parse_num(k, v)?,
+            "seed" => seed = parse_num(k, v)?,
+            "id" => id = v.to_string(),
+            other => return Err(invalid(format!("unknown fwd key '{other}'"))),
+        }
+    }
+    let kernel = kernel.ok_or_else(|| invalid("fwd needs kernel=<label>".into()))?;
+    let kernel = kernel_from_label(&kernel)?;
+    let experiment = Experiment::new(SystemConfig::try_new(side, NetworkKind::Omesh)?, kernel)
+        .with_ops(ops)
+        .with_seed(seed);
+    Ok(Request::Fwd(Box::new(FwdRequest { id, experiment })))
+}
+
+/// Render the `fwd` request line for a capture owned by a peer.
+pub fn fwd_line(exp: &Experiment, id: &str) -> String {
+    format!(
+        "fwd kernel={} side={} ops={} seed={} id={}",
+        exp.kernel.label(),
+        exp.system.side,
+        exp.ops_per_core,
+        exp.seed,
+        // Ids are client-controlled and may contain anything; strip
+        // whitespace so the line stays one line of clean tokens.
+        id.replace(char::is_whitespace, "_"),
+    )
+}
+
+/// Success reply to a `fwd`: the capture as JSON-escaped trace CSV (the
+/// on-disk format, so both ends share one codec), plus whether the
+/// owner's cache already had it.
+pub fn fwd_response(id: &str, cache: CacheOutcome, trace_csv: &str) -> String {
+    format!(
+        r#"{{"status":"ok","id":"{}","cache":"{}","trace_csv":"{}"}}"#,
+        json_escape(id),
+        cache.label(),
+        json_escape(trace_csv)
+    )
+}
+
+/// Decode a peer's `fwd` reply. Total: any malformed, truncated, or
+/// error frame becomes a typed [`SctmError`] — the capture cache's
+/// pending slot is released by the caller's error path, never poisoned.
+pub fn parse_fwd_response(line: &str) -> Result<(TraceLog, CacheOutcome), SctmError> {
+    use sctm_client::wire::json_str_field;
+    let peer_err = |msg: String| SctmError::Io(msg);
+    let status = json_str_field(line, "status")
+        .ok_or_else(|| peer_err("peer fwd reply has no status field".into()))?;
+    match status.as_str() {
+        "ok" => {}
+        "error" => {
+            let kind = json_str_field(line, "kind").unwrap_or_else(|| "unknown".into());
+            let message = json_str_field(line, "message").unwrap_or_default();
+            return Err(peer_err(format!("peer fwd error [{kind}]: {message}")));
+        }
+        other => return Err(peer_err(format!("peer fwd reply has status '{other}'"))),
+    }
+    let csv = json_str_field(line, "trace_csv")
+        .ok_or_else(|| peer_err("peer fwd reply has no trace_csv field".into()))?;
+    let cache = match json_str_field(line, "cache").as_deref() {
+        Some("hit") => CacheOutcome::Hit,
+        Some("miss") => CacheOutcome::Miss,
+        other => {
+            return Err(peer_err(format!(
+                "peer fwd reply has cache outcome {other:?}"
+            )))
+        }
+    };
+    let log = TraceLog::from_csv_str(&csv).map_err(SctmError::Trace)?;
+    Ok((log, cache))
 }
 
 /// Stable machine-readable tag for each [`SctmError`] variant.

@@ -1,13 +1,35 @@
-//! The batch scheduler and its front-ends.
+//! The request scheduler and its front-ends.
 //!
-//! One scheduler thread owns the run loop: it drains whatever the
-//! bounded request queue holds, drops requests that outlived their
-//! queue deadline, and runs the rest as one batch on the deterministic
-//! worker pool ([`par_map`]) — the same executor the sweep examples and
-//! the bench harness use, so a batch of N requests is bit-identical to
-//! running them serially. Captures go through the content-addressed
-//! [`CaptureCache`], so a batch sweeping one workload across many
-//! network configs performs a single capture.
+//! Two scheduler modes share every queue, cache, and telemetry
+//! mechanism (selected by [`ServerConfig::sched`]):
+//!
+//! - **[`SchedMode::WorkSteal`]** (default): a fixed pool of
+//!   `SCTM_THREADS` workers pulls per-request *stage* tasks — probe →
+//!   capture → replay → render — from per-worker deques with stealing
+//!   ([`WorkStealPool`]). A worker finishing one stage pushes the
+//!   request's next stage onto its own deque; idle workers steal the
+//!   oldest queued stage from a peer. So the capture of request N
+//!   overlaps the replay of request M and the response rendering of
+//!   request K, and a sweep saturates every worker instead of
+//!   serializing behind whole-batch barriers.
+//! - **[`SchedMode::Batch`]**: the original serial batch cycle — one
+//!   scheduler thread drains the queue and runs each batch on the
+//!   deterministic pool ([`par_map`]). Kept as the byte-identity
+//!   reference: `tests/srv_sched.rs` pins that both modes produce
+//!   identical `"result"` bytes at any worker count.
+//!
+//! Determinism does not depend on the mode: each request's result
+//! manifest is computed from simulated quantities only, and the
+//! [`CaptureCache`] single-flight pending slots are the only
+//! cross-request synchronization — whichever request performs a capture
+//! produces the same bytes. Scheduling changes *when* work runs, never
+//! *what* it computes.
+//!
+//! In **shard mode** ([`Server::start_sharded`]) several `sctmd`
+//! processes partition the capture cache by consistent hashing over the
+//! FNV capture key: a miss on a key owned by a peer is forwarded (`fwd`
+//! verb) instead of captured locally, so the whole cluster performs one
+//! capture per workload. See the `shard` module docs.
 //!
 //! Backpressure is explicit: `submit` on a full queue fails immediately
 //! with a `busy` response carrying `retry_after_ms`, never blocks the
@@ -31,10 +53,12 @@
 use crate::cache::{CacheStats, CaptureCache, CaptureKey};
 use crate::proto::{
     self, error_kind, error_response, ok_response, parse_request, result_json, timeout_response,
-    CacheOutcome, Request, RunRequest,
+    CacheOutcome, FwdRequest, Request, RunRequest,
 };
-use sctm_core::Mode;
-use sctm_engine::par::par_map;
+use crate::shard::Shard;
+use sctm_core::trace::TraceLog;
+use sctm_core::{Mode, SctmError};
+use sctm_engine::par::{par_map, service_threads, WorkStealPool, WorkerHandle};
 use sctm_engine::stats::Histogram;
 use sctm_obs::reqlog::{json_line, RequestLog};
 use sctm_obs::svc::{SvcCounter, SvcPhase, SvcStats, SVC_STATS_VERSION};
@@ -44,6 +68,18 @@ use std::io::{BufRead, Write};
 use std::sync::atomic::{AtomicU64, Ordering};
 use std::sync::{mpsc, Arc, Condvar, Mutex};
 use std::time::{Duration, Instant, SystemTime};
+
+/// How the server turns queued requests into running work.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub enum SchedMode {
+    /// One scheduler thread drains the queue and runs whole batches on
+    /// the deterministic pool. The original cycle; capture, replay, and
+    /// response I/O of different batches serialize.
+    Batch,
+    /// Stage-pipelined work-stealing pool: per-request probe → capture
+    /// → replay → render tasks on per-worker deques with stealing.
+    WorkSteal,
+}
 
 /// Service knobs. All bounds are hard: the queue never exceeds
 /// `queue_cap` and the cache evicts past `cache_bytes`.
@@ -57,6 +93,15 @@ pub struct ServerConfig {
     pub default_timeout_ms: u64,
     /// Retry hint attached to `busy` responses.
     pub retry_after_ms: u64,
+    /// Scheduler worker count; `0` resolves via
+    /// [`service_threads`] (`SCTM_THREADS`, else all cores).
+    pub workers: usize,
+    /// Scheduler mode; [`SchedMode::WorkSteal`] unless pinned.
+    pub sched: SchedMode,
+    /// Idle-flush read timeout for [`serve_tcp`] connections, in
+    /// milliseconds: how often an idle connection wakes to flush
+    /// completed responses to lockstep clients.
+    pub read_timeout_ms: u64,
 }
 
 impl Default for ServerConfig {
@@ -66,6 +111,9 @@ impl Default for ServerConfig {
             cache_bytes: 256 << 20,
             default_timeout_ms: 300_000,
             retry_after_ms: 50,
+            workers: 0,
+            sched: SchedMode::WorkSteal,
+            read_timeout_ms: 25,
         }
     }
 }
@@ -84,6 +132,34 @@ struct Job {
 struct QueueState {
     jobs: VecDeque<Job>,
     draining: bool,
+    /// Accepted requests not yet answered (queued + in flight). Drain
+    /// in work-steal mode waits for this to hit zero so every accepted
+    /// request is answered before the pool stops.
+    outstanding: usize,
+}
+
+/// The four work-steal pipeline stages, in flow order. Indices key the
+/// `srv.sched.queue.<stage>` depth gauges.
+const STAGE_NAMES: [&str; 4] = ["probe", "capture", "replay", "render"];
+const STAGE_PROBE: usize = 0;
+const STAGE_CAPTURE: usize = 1;
+const STAGE_REPLAY: usize = 2;
+const STAGE_RENDER: usize = 3;
+
+/// Shard-mode counters (zeros outside shard mode; the schema is
+/// stable either way). Cluster-wide capture count is
+/// `Σ srv.cache.misses − Σ srv.shard.forwarded` across instances.
+#[derive(Default)]
+struct ShardCounters {
+    /// Local captures for keys this instance owns.
+    owned: AtomicU64,
+    /// Misses satisfied by fetching from the owning peer.
+    forwarded: AtomicU64,
+    /// `fwd` requests served on behalf of peers.
+    fwd_served: AtomicU64,
+    /// Forwards that failed (peer down, malformed reply); the request
+    /// got a typed error and the pending slot was released.
+    fwd_errors: AtomicU64,
 }
 
 struct Shared {
@@ -98,6 +174,11 @@ struct Shared {
     /// counts per verdict and an iterations-per-run histogram, served
     /// as `srv.conv.*` by the `stats`/`metrics` verbs.
     conv: Mutex<ConvRollup>,
+    /// Consistent-hash shard state; `None` runs single-instance.
+    shard: Option<Shard>,
+    shard_counters: ShardCounters,
+    /// Queued-but-not-started stage tasks, by stage index.
+    stage_depth: [AtomicU64; 4],
 }
 
 struct ConvRollup {
@@ -150,17 +231,31 @@ fn quoted(s: &str) -> String {
 /// A running batch-simulation service. Dropping it drains gracefully.
 pub struct Server {
     shared: Arc<Shared>,
+    /// Batch mode: the scheduler thread. `None` in work-steal mode.
     scheduler: Mutex<Option<std::thread::JoinHandle<()>>>,
+    /// Work-steal mode: the stage pool. `None` in batch mode.
+    pool: Mutex<Option<WorkStealPool>>,
 }
 
 impl Server {
     pub fn start(cfg: ServerConfig) -> Server {
-        Server::start_logged(cfg, None)
+        Server::start_sharded(cfg, None, None)
     }
 
     /// As [`Server::start`], with an optional structured request log
     /// (one JSONL line per request; see DESIGN.md §12).
     pub fn start_logged(cfg: ServerConfig, log: Option<Arc<RequestLog>>) -> Server {
+        Server::start_sharded(cfg, None, log)
+    }
+
+    /// As [`Server::start_logged`], optionally joining a consistent-hash
+    /// shard cluster (see the `shard` module docs): capture misses on
+    /// keys owned by a peer are forwarded instead of captured locally.
+    pub fn start_sharded(
+        cfg: ServerConfig,
+        shard: Option<Shard>,
+        log: Option<Arc<RequestLog>>,
+    ) -> Server {
         let shared = Arc::new(Shared {
             cache: CaptureCache::new(cfg.cache_bytes),
             cfg,
@@ -170,15 +265,32 @@ impl Server {
             log,
             next_seq: AtomicU64::new(1),
             conv: Mutex::new(ConvRollup::new()),
+            shard,
+            shard_counters: ShardCounters::default(),
+            stage_depth: Default::default(),
         });
-        let worker = Arc::clone(&shared);
-        let scheduler = std::thread::Builder::new()
-            .name("sctmd-scheduler".into())
-            .spawn(move || scheduler_loop(&worker))
-            .expect("spawn scheduler thread");
+        let (scheduler, pool) = match cfg.sched {
+            SchedMode::Batch => {
+                let worker = Arc::clone(&shared);
+                let scheduler = std::thread::Builder::new()
+                    .name("sctmd-scheduler".into())
+                    .spawn(move || scheduler_loop(&worker))
+                    .expect("spawn scheduler thread");
+                (Some(scheduler), None)
+            }
+            SchedMode::WorkSteal => {
+                let workers = if cfg.workers > 0 {
+                    cfg.workers
+                } else {
+                    service_threads()
+                };
+                (None, Some(WorkStealPool::new(workers)))
+            }
+        };
         Server {
             shared,
-            scheduler: Mutex::new(Some(scheduler)),
+            scheduler: Mutex::new(scheduler),
+            pool: Mutex::new(pool),
         }
     }
 
@@ -231,12 +343,62 @@ impl Server {
             deadline,
             reply: tx,
         });
+        q.outstanding += 1;
         let depth = q.jobs.len() as u64;
+        // Work-steal mode: hand the pool one probe task per accepted
+        // job, while still holding the queue lock so a concurrent
+        // drain cannot stop the pool between accept and dispatch.
+        if self.shared.cfg.sched == SchedMode::WorkSteal {
+            self.dispatch_probe();
+        }
         drop(q);
         self.shared.svc.incr(SvcCounter::Accepted);
         self.shared.svc.note_queue_depth(depth);
         self.shared.jobs_ready.notify_all();
         Ok(rx)
+    }
+
+    /// Submit one probe-stage task to the work-steal pool. The task
+    /// pops the oldest queued job (FIFO fairness for the probe stage;
+    /// later stages ride the deques) and starts its pipeline.
+    fn dispatch_probe(&self) {
+        let pool = lock(&self.pool);
+        let Some(pool) = pool.as_ref() else { return };
+        let sh = Arc::clone(&self.shared);
+        sh.stage_depth[STAGE_PROBE].fetch_add(1, Ordering::Relaxed);
+        pool.submit(move |h| {
+            sh.stage_depth[STAGE_PROBE].fetch_sub(1, Ordering::Relaxed);
+            let job = lock(&sh.queue).jobs.pop_front();
+            if let Some(job) = job {
+                stage_probe(&sh, h, job);
+            }
+        });
+    }
+
+    /// Answer a peer's `fwd` request from this instance's own cache —
+    /// the owner end of the forward hop. Runs on the connection thread
+    /// (never a scheduler worker) and goes through the normal
+    /// single-flight `get_or_capture`, so racing forwards from several
+    /// peers and local requests for the same key collapse onto one
+    /// capture. The owner never re-forwards: it is the end of the
+    /// chain, so forwarding cannot loop.
+    pub fn handle_fwd(&self, f: &FwdRequest) -> String {
+        let e = &f.experiment;
+        let key = CaptureKey::new(e.kernel.label(), e.system.side, e.ops_per_core, e.seed);
+        self.shared
+            .shard_counters
+            .fwd_served
+            .fetch_add(1, Ordering::Relaxed);
+        let (log, hit) = self.shared.cache.get_or_capture(key, || {
+            let _g = span("svc", "capture");
+            e.capture()
+        });
+        let outcome = if hit {
+            CacheOutcome::Hit
+        } else {
+            CacheOutcome::Miss
+        };
+        proto::fwd_response(&f.id, outcome, &log.to_csv_string())
     }
 
     /// Submit and wait for the response line.
@@ -298,6 +460,42 @@ impl Server {
             m.metrics
                 .hist_merge("srv.conv.iterations", &conv.iterations);
         }
+        // Scheduler occupancy: live pool counters in work-steal mode,
+        // zeros in batch mode — the schema never depends on the mode.
+        let ps = lock(&self.pool)
+            .as_ref()
+            .map(|p| p.stats())
+            .unwrap_or_default();
+        m.metrics.gauge_set("srv.sched.workers", ps.workers as f64);
+        m.metrics.gauge_set("srv.sched.busy", ps.busy as f64);
+        m.metrics.counter_add("srv.sched.steals", ps.steals);
+        m.metrics.counter_add("srv.sched.tasks", ps.executed);
+        for (i, stage) in STAGE_NAMES.iter().enumerate() {
+            m.metrics.gauge_set(
+                format!("srv.sched.queue.{stage}"),
+                self.shared.stage_depth[i].load(Ordering::Relaxed) as f64,
+            );
+        }
+        // Shard counters: zeros single-instance, same schema.
+        let peers = self
+            .shared
+            .shard
+            .as_ref()
+            .map_or(0, |s| s.ring().peers().len());
+        let sc = &self.shared.shard_counters;
+        m.metrics.gauge_set("srv.shard.peers", peers as f64);
+        m.metrics
+            .counter_add("srv.shard.owned", sc.owned.load(Ordering::Relaxed));
+        m.metrics
+            .counter_add("srv.shard.forwarded", sc.forwarded.load(Ordering::Relaxed));
+        m.metrics.counter_add(
+            "srv.shard.fwd_served",
+            sc.fwd_served.load(Ordering::Relaxed),
+        );
+        m.metrics.counter_add(
+            "srv.shard.fwd_errors",
+            sc.fwd_errors.load(Ordering::Relaxed),
+        );
         self.shared.svc.snapshot().publish(&mut m.metrics);
         m
     }
@@ -315,9 +513,26 @@ impl Server {
             q.draining = true;
         }
         self.shared.jobs_ready.notify_all();
+        // Batch mode: the scheduler thread drains the queue then exits.
         let handle = lock(&self.scheduler).take();
         if let Some(h) = handle {
             let _ = h.join();
+        }
+        // Work-steal mode: every accepted request holds an
+        // `outstanding` tick until its reply is sent; wait for zero,
+        // then stop the pool (its Drop finishes queued tasks first).
+        let pool = lock(&self.pool).take();
+        if let Some(pool) = pool {
+            let mut q = lock(&self.shared.queue);
+            while q.outstanding > 0 {
+                q = self
+                    .shared
+                    .jobs_ready
+                    .wait(q)
+                    .unwrap_or_else(|e| e.into_inner());
+            }
+            drop(q);
+            drop(pool);
         }
     }
 }
@@ -345,25 +560,7 @@ fn scheduler_loop(shared: &Arc<Shared>) {
         let mut live = Vec::with_capacity(batch.len());
         for job in batch {
             match job.deadline {
-                Some(d) if d <= now => {
-                    let waited = now.duration_since(job.enqueued);
-                    shared.svc.incr(SvcCounter::TimedOut);
-                    shared.svc.record_us(SvcPhase::Queue, us(waited));
-                    shared.svc.record_us(SvcPhase::Total, us(waited));
-                    shared.log_event(
-                        job.seq,
-                        &[
-                            ("id", quoted(&job.req.id)),
-                            ("verb", quoted("run")),
-                            ("outcome", quoted("timeout")),
-                            ("queue_us", us(waited).to_string()),
-                            ("total_us", us(waited).to_string()),
-                        ],
-                    );
-                    let _ = job
-                        .reply
-                        .send(timeout_response(&job.req.id, waited.as_millis()));
-                }
+                Some(d) if d <= now => finish_timeout(shared, job, now),
                 _ => live.push(job),
             }
         }
@@ -381,74 +578,114 @@ fn scheduler_loop(shared: &Arc<Shared>) {
                     shared.svc.enter();
                     let done = run_job(&shared, &job.req);
                     shared.svc.exit();
-
-                    // Counters land before the reply: a client that
-                    // polls `stats` after receiving its answer always
-                    // sees itself counted (the channel send/recv pair
-                    // orders the relaxed stores for the receiver).
-                    let svc = &shared.svc;
-                    svc.incr(SvcCounter::Completed);
-                    match done.cache {
-                        CacheOutcome::Bypass => svc.incr(SvcCounter::CacheBypass),
-                        CacheOutcome::Hit | CacheOutcome::Miss => {}
-                    }
-                    if let Some(kind) = done.error_kind {
-                        svc.incr(SvcCounter::Errors);
-                        if kind == "budget-exhausted" {
-                            svc.incr(SvcCounter::BudgetExhausted);
-                        }
-                    }
-                    // Conv rollup lands before the reply for the same
-                    // reason the counters above do: a client polling
-                    // `stats` after its answer sees itself counted.
-                    if let Some(v) = done.verdict {
-                        let mut conv = lock(&shared.conv);
-                        *conv.runs.entry(v).or_insert(0) += 1;
-                        conv.iterations.record(done.conv_iterations);
-                    }
-                    let respond0 = Instant::now();
-                    let _ = job.reply.send(done.line);
-                    let respond_us = us(respond0.elapsed());
-                    let total_us = us(job.enqueued.elapsed());
-                    svc.record_us(SvcPhase::Queue, queue_us);
-                    svc.record_us(SvcPhase::CacheProbe, done.probe_us);
-                    svc.record_us(SvcPhase::Execute, done.execute_us);
-                    svc.record_us(SvcPhase::Respond, respond_us);
-                    svc.record_us(SvcPhase::Total, total_us);
-
-                    let mut fields: Vec<(&str, String)> = vec![
-                        ("id", quoted(&job.req.id)),
-                        ("verb", quoted("run")),
-                        (
-                            "outcome",
-                            quoted(if done.error_kind.is_some() {
-                                "error"
-                            } else {
-                                "ok"
-                            }),
-                        ),
-                        ("cache", quoted(done.cache.label())),
-                    ];
-                    if let Some(key) = done.key_prefix {
-                        fields.push(("key", quoted(&key)));
-                    }
-                    if let Some(kind) = done.error_kind {
-                        fields.push(("error_kind", quoted(kind)));
-                    }
-                    if let Some(v) = done.verdict {
-                        fields.push(("verdict", quoted(v)));
-                    }
-                    fields.push(("queue_us", queue_us.to_string()));
-                    fields.push(("probe_us", done.probe_us.to_string()));
-                    fields.push(("execute_us", done.execute_us.to_string()));
-                    fields.push(("respond_us", respond_us.to_string()));
-                    fields.push(("total_us", total_us.to_string()));
-                    shared.log_event(job.seq, &fields);
+                    finish_job(&shared, job, queue_us, done);
                 }
             })
             .collect();
         par_map(jobs);
     }
+}
+
+/// Answer a request whose queue deadline expired before it ran, with
+/// full telemetry. Shared by both scheduler modes.
+fn finish_timeout(shared: &Shared, job: Job, now: Instant) {
+    let waited = now.duration_since(job.enqueued);
+    shared.svc.incr(SvcCounter::TimedOut);
+    shared.svc.record_us(SvcPhase::Queue, us(waited));
+    shared.svc.record_us(SvcPhase::Total, us(waited));
+    shared.log_event(
+        job.seq,
+        &[
+            ("id", quoted(&job.req.id)),
+            ("verb", quoted("run")),
+            ("outcome", quoted("timeout")),
+            ("queue_us", us(waited).to_string()),
+            ("total_us", us(waited).to_string()),
+        ],
+    );
+    let _ = job
+        .reply
+        .send(timeout_response(&job.req.id, waited.as_millis()));
+    note_answered(shared);
+}
+
+/// Fold one finished request into counters, conv rollup, phase
+/// histograms, and the request log, and send its reply. Shared by both
+/// scheduler modes; the counter-before-reply ordering is the `stats`
+/// read-your-writes contract.
+fn finish_job(shared: &Shared, job: Job, queue_us: u64, done: JobDone) {
+    // Counters land before the reply: a client that polls `stats`
+    // after receiving its answer always sees itself counted (the
+    // channel send/recv pair orders the relaxed stores for the
+    // receiver).
+    let svc = &shared.svc;
+    svc.incr(SvcCounter::Completed);
+    match done.cache {
+        CacheOutcome::Bypass => svc.incr(SvcCounter::CacheBypass),
+        CacheOutcome::Hit | CacheOutcome::Miss => {}
+    }
+    if let Some(kind) = done.error_kind {
+        svc.incr(SvcCounter::Errors);
+        if kind == "budget-exhausted" {
+            svc.incr(SvcCounter::BudgetExhausted);
+        }
+    }
+    // Conv rollup lands before the reply for the same reason the
+    // counters above do: a client polling `stats` after its answer
+    // sees itself counted.
+    if let Some(v) = done.verdict {
+        let mut conv = lock(&shared.conv);
+        *conv.runs.entry(v).or_insert(0) += 1;
+        conv.iterations.record(done.conv_iterations);
+    }
+    let respond0 = Instant::now();
+    let _ = job.reply.send(done.line);
+    let respond_us = us(respond0.elapsed());
+    let total_us = us(job.enqueued.elapsed());
+    svc.record_us(SvcPhase::Queue, queue_us);
+    svc.record_us(SvcPhase::CacheProbe, done.probe_us);
+    svc.record_us(SvcPhase::Execute, done.execute_us);
+    svc.record_us(SvcPhase::Respond, respond_us);
+    svc.record_us(SvcPhase::Total, total_us);
+
+    let mut fields: Vec<(&str, String)> = vec![
+        ("id", quoted(&job.req.id)),
+        ("verb", quoted("run")),
+        (
+            "outcome",
+            quoted(if done.error_kind.is_some() {
+                "error"
+            } else {
+                "ok"
+            }),
+        ),
+        ("cache", quoted(done.cache.label())),
+    ];
+    if let Some(key) = done.key_prefix {
+        fields.push(("key", quoted(&key)));
+    }
+    if let Some(kind) = done.error_kind {
+        fields.push(("error_kind", quoted(kind)));
+    }
+    if let Some(v) = done.verdict {
+        fields.push(("verdict", quoted(v)));
+    }
+    fields.push(("queue_us", queue_us.to_string()));
+    fields.push(("probe_us", done.probe_us.to_string()));
+    fields.push(("execute_us", done.execute_us.to_string()));
+    fields.push(("respond_us", respond_us.to_string()));
+    fields.push(("total_us", total_us.to_string()));
+    shared.log_event(job.seq, &fields);
+    note_answered(shared);
+}
+
+/// Release one `outstanding` tick after a reply (or timeout drop) and
+/// wake a drain that may be waiting for the count to reach zero.
+fn note_answered(shared: &Shared) {
+    let mut q = lock(&shared.queue);
+    q.outstanding = q.outstanding.saturating_sub(1);
+    drop(q);
+    shared.jobs_ready.notify_all();
 }
 
 /// What one executed request produced, response line plus the
@@ -471,6 +708,45 @@ struct JobDone {
     conv_iterations: u64,
 }
 
+/// Produce the capture for `key`: locally when this instance owns the
+/// key (or runs single-instance), otherwise by forwarding to the
+/// owning peer. Runs as the single-flight producer, so per instance at
+/// most one capture/forward per key is in flight; an `Err` releases
+/// the pending slot (drop guard) and surfaces a typed error.
+fn produce_capture(
+    shared: &Shared,
+    e: &sctm_core::Experiment,
+    id: &str,
+    key: CaptureKey,
+) -> Result<TraceLog, SctmError> {
+    if let Some(shard) = &shared.shard {
+        let owner = shard.ring().owner(key);
+        if owner != shard.ring().self_addr() {
+            let owner = owner.to_string();
+            let _g = span("svc", "fwd");
+            return match shard.fetch_from_owner(&owner, e, id) {
+                Ok((log, _peer_outcome)) => {
+                    shared
+                        .shard_counters
+                        .forwarded
+                        .fetch_add(1, Ordering::Relaxed);
+                    Ok(log)
+                }
+                Err(err) => {
+                    shared
+                        .shard_counters
+                        .fwd_errors
+                        .fetch_add(1, Ordering::Relaxed);
+                    Err(err)
+                }
+            };
+        }
+        shared.shard_counters.owned.fetch_add(1, Ordering::Relaxed);
+    }
+    let _g = span("svc", "capture");
+    Ok(e.capture())
+}
+
 /// Execute one request, satisfying trace-mode captures from the cache.
 fn run_job(shared: &Shared, req: &RunRequest) -> JobDone {
     let wall0 = Instant::now();
@@ -483,17 +759,35 @@ fn run_job(shared: &Shared, req: &RunRequest) -> JobDone {
         (outcome, CacheOutcome::Bypass, None, 0, us(x0.elapsed()))
     } else {
         let key = CaptureKey::new(e.kernel.label(), e.system.side, e.ops_per_core, e.seed);
+        let key_prefix = Some(format!("{:08x}", key.0 >> 32));
         let mut capture = Duration::ZERO;
         let probe0 = Instant::now();
-        let (log, hit) = {
+        let fetched = {
             let _g = span("svc", "cache_probe");
-            shared.cache.get_or_capture(key, || {
-                let _g = span("svc", "capture");
+            shared.cache.try_get_or_capture(key, || {
                 let c0 = Instant::now();
-                let t = e.capture();
+                let t = produce_capture(shared, e, &req.id, key);
                 capture = c0.elapsed();
                 t
             })
+        };
+        let (log, hit) = match fetched {
+            Ok(x) => x,
+            Err(err) => {
+                // A failed capture (in practice: a failed forward) is a
+                // typed error for this request; the pending slot was
+                // released so the next request retries.
+                return JobDone {
+                    line: error_response(&req.id, &err),
+                    cache: CacheOutcome::Miss,
+                    key_prefix,
+                    error_kind: Some(error_kind(&err)),
+                    probe_us: us(probe0.elapsed().saturating_sub(capture)),
+                    execute_us: us(capture),
+                    verdict: None,
+                    conv_iterations: 0,
+                };
+            }
         };
         // Probe time is cache resolution only; the capture a miss
         // triggers is execution work and accounted there.
@@ -511,7 +805,7 @@ fn run_job(shared: &Shared, req: &RunRequest) -> JobDone {
         (
             outcome,
             cache,
-            Some(format!("{:08x}", key.0 >> 32)),
+            key_prefix,
             us(probe),
             us(capture + x0.elapsed()),
         )
@@ -548,6 +842,206 @@ fn run_job(shared: &Shared, req: &RunRequest) -> JobDone {
             conv_iterations: 0,
         },
     }
+}
+
+/// Per-request state threaded through the work-steal stage pipeline.
+/// Built at probe, completed at render; each stage hands it to the
+/// next via the worker's own deque.
+struct StageCtx {
+    job: Job,
+    queue_us: u64,
+    /// When the probe stage began — the staged analogue of batch
+    /// `run_job`'s wall clock zero.
+    started: Instant,
+    probe_us: u64,
+    /// Accumulated simulation work so far (capture/forward, replay).
+    execute_us: u64,
+    cache: CacheOutcome,
+    key: Option<CaptureKey>,
+    key_prefix: Option<String>,
+    log: Option<Arc<TraceLog>>,
+    outcome: Option<Result<sctm_core::RunOutcome, SctmError>>,
+}
+
+/// Queue `ctx` for `stage` on this worker's own deque (LIFO keeps the
+/// request hot; an idle peer may steal it), with depth accounting and
+/// a Perfetto `sched` span around the stage body.
+fn spawn_stage(shared: &Arc<Shared>, h: &WorkerHandle<'_>, stage: usize, ctx: StageCtx) {
+    shared.stage_depth[stage].fetch_add(1, Ordering::Relaxed);
+    let sh = Arc::clone(shared);
+    h.push_local(move |h2| {
+        sh.stage_depth[stage].fetch_sub(1, Ordering::Relaxed);
+        let _g = span("sched", STAGE_NAMES[stage]);
+        match stage {
+            STAGE_CAPTURE => stage_capture(&sh, h2, ctx),
+            STAGE_REPLAY => stage_replay(&sh, h2, ctx),
+            STAGE_RENDER => stage_render(&sh, ctx),
+            other => unreachable!("stage {other} is never queued"),
+        }
+    });
+}
+
+/// Stage 1 — deadline check and non-blocking cache probe. A hit skips
+/// straight to replay; a cold or in-flight key goes to the capture
+/// stage (which joins the single-flight there, off this fast path).
+fn stage_probe(shared: &Arc<Shared>, h: &WorkerHandle<'_>, job: Job) {
+    let _g = span("sched", STAGE_NAMES[STAGE_PROBE]);
+    let now = Instant::now();
+    if let Some(d) = job.deadline {
+        if d <= now {
+            finish_timeout(shared, job, now);
+            return;
+        }
+    }
+    let queue_us = us(now.duration_since(job.enqueued));
+    shared.svc.enter();
+    let traceless = matches!(
+        job.req.spec.mode,
+        Mode::ExecutionDriven | Mode::Online { .. }
+    );
+    let mut ctx = StageCtx {
+        job,
+        queue_us,
+        started: now,
+        probe_us: 0,
+        execute_us: 0,
+        cache: CacheOutcome::Bypass,
+        key: None,
+        key_prefix: None,
+        log: None,
+        outcome: None,
+    };
+    if traceless {
+        spawn_stage(shared, h, STAGE_REPLAY, ctx);
+        return;
+    }
+    let e = &ctx.job.req.experiment;
+    let key = CaptureKey::new(e.kernel.label(), e.system.side, e.ops_per_core, e.seed);
+    ctx.key = Some(key);
+    ctx.key_prefix = Some(format!("{:08x}", key.0 >> 32));
+    let probe0 = Instant::now();
+    let probed = {
+        let _g = span("svc", "cache_probe");
+        shared.cache.try_get(key)
+    };
+    ctx.probe_us = us(probe0.elapsed());
+    match probed {
+        Some(log) => {
+            ctx.cache = CacheOutcome::Hit;
+            ctx.log = Some(log);
+            spawn_stage(shared, h, STAGE_REPLAY, ctx);
+        }
+        None => spawn_stage(shared, h, STAGE_CAPTURE, ctx),
+    }
+}
+
+/// Stage 2 — join the single-flight and produce the capture if this
+/// request drew the short straw (locally, or via the shard forward
+/// hop). Blocking on another request's in-flight capture parks this
+/// worker only; the producer is always actively running on some
+/// worker (or a peer), so the wait is on live progress, never on
+/// queued work — no scheduling deadlock at any worker count.
+fn stage_capture(shared: &Arc<Shared>, h: &WorkerHandle<'_>, mut ctx: StageCtx) {
+    let key = ctx.key.expect("capture stage requires a key");
+    let c0 = Instant::now();
+    let mut produce_time = Duration::ZERO;
+    let fetched = {
+        let _g = span("svc", "cache_probe");
+        let e = &ctx.job.req.experiment;
+        let id = &ctx.job.req.id;
+        shared.cache.try_get_or_capture(key, || {
+            let p0 = Instant::now();
+            let t = produce_capture(shared, e, id, key);
+            produce_time = p0.elapsed();
+            t
+        })
+    };
+    // Resolution (including any single-flight wait) counts as probe
+    // time; the production itself is execution work — same accounting
+    // as the batch path.
+    ctx.probe_us += us(c0.elapsed().saturating_sub(produce_time));
+    ctx.execute_us += us(produce_time);
+    match fetched {
+        Ok((log, hit)) => {
+            ctx.cache = if hit {
+                CacheOutcome::Hit
+            } else {
+                CacheOutcome::Miss
+            };
+            ctx.log = Some(log);
+            spawn_stage(shared, h, STAGE_REPLAY, ctx);
+        }
+        Err(err) => {
+            ctx.cache = CacheOutcome::Miss;
+            ctx.outcome = Some(Err(err));
+            spawn_stage(shared, h, STAGE_RENDER, ctx);
+        }
+    }
+}
+
+/// Stage 3 — run the simulation (replay against the capture, or direct
+/// execution for traceless modes).
+fn stage_replay(shared: &Arc<Shared>, h: &WorkerHandle<'_>, mut ctx: StageCtx) {
+    let x0 = Instant::now();
+    let outcome = {
+        let _g = span("svc", "execute");
+        let req = &ctx.job.req;
+        match &ctx.log {
+            Some(log) => req.experiment.execute_seeded(&req.spec, Some(log)),
+            None => req.experiment.execute(&req.spec),
+        }
+    };
+    ctx.execute_us += us(x0.elapsed());
+    ctx.outcome = Some(outcome);
+    spawn_stage(shared, h, STAGE_RENDER, ctx);
+}
+
+/// Stage 4 — render the response line and fold the request into
+/// telemetry. The `"result"` object is computed from simulated
+/// quantities only, so its bytes do not depend on which worker ran
+/// which stage, or in what order.
+fn stage_render(shared: &Arc<Shared>, ctx: StageCtx) {
+    let StageCtx {
+        job,
+        queue_us,
+        started,
+        probe_us,
+        execute_us,
+        cache,
+        key_prefix,
+        outcome,
+        ..
+    } = ctx;
+    let done = match outcome.expect("render stage requires an outcome") {
+        Ok(out) => JobDone {
+            line: ok_response(
+                &job.req.id,
+                started.elapsed().as_nanos(),
+                cache,
+                &result_json(&out.report, &job.req.experiment),
+            ),
+            cache,
+            key_prefix,
+            error_kind: None,
+            // Rendering counts as execution work, as in the batch path.
+            probe_us,
+            execute_us: us(started.elapsed()),
+            verdict: out.report.verdict.map(|v| v.label()),
+            conv_iterations: out.report.iterations.as_ref().map_or(0, |v| v.len() as u64),
+        },
+        Err(err) => JobDone {
+            line: error_response(&job.req.id, &err),
+            cache,
+            key_prefix,
+            error_kind: Some(error_kind(&err)),
+            probe_us,
+            execute_us,
+            verdict: None,
+            conv_iterations: 0,
+        },
+    };
+    shared.svc.exit();
+    finish_job(shared, job, queue_us, done);
 }
 
 /// A response owed to the client, in request order.
@@ -685,6 +1179,14 @@ pub fn serve_lines<R: BufRead, W: Write>(
                 Ok(rx) => pending.push_back(Pending::Waiting(rx)),
                 Err(line) => pending.push_back(Pending::Ready(line)),
             },
+            Ok(Request::Fwd(freq)) => {
+                // Peer capture fetch: answered inline on this
+                // connection thread (it may block in the owner's
+                // single-flight, never on a scheduler worker).
+                flush_all(&mut pending, writer)?;
+                writeln!(writer, "{}", server.handle_fwd(&freq))?;
+                writer.flush()?;
+            }
             Ok(Request::Ping) => {
                 flush_all(&mut pending, writer)?;
                 writeln!(writer, r#"{{"status":"ok","pong":true}}"#)?;
@@ -767,6 +1269,13 @@ fn serve_http_get<W: Write>(
 pub fn serve_tcp(listener: std::net::TcpListener, server: Server) -> std::io::Result<()> {
     use std::sync::atomic::AtomicBool;
     listener.set_nonblocking(true)?;
+    // The receive timeout makes `serve_lines` wake up and flush
+    // completed responses to lockstep clients while the connection is
+    // otherwise idle. Configurable (`--read-timeout-ms` /
+    // `SCTM_READ_TIMEOUT_MS`): slower wakeups trade response latency
+    // for idle wakeup rate; 0 is clamped to 1 ms because a `None`
+    // timeout would never flush.
+    let read_timeout = Duration::from_millis(server.config().read_timeout_ms.max(1));
     let server = Arc::new(server);
     let stop = Arc::new(AtomicBool::new(false));
     let mut conns: Vec<std::thread::JoinHandle<()>> = Vec::new();
@@ -777,12 +1286,7 @@ pub fn serve_tcp(listener: std::net::TcpListener, server: Server) -> std::io::Re
                 let stop = Arc::clone(&stop);
                 conns.push(std::thread::spawn(move || {
                     stream.set_nonblocking(false).ok();
-                    // The receive timeout makes `serve_lines` wake up
-                    // and flush completed responses to lockstep
-                    // clients while the connection is otherwise idle.
-                    stream
-                        .set_read_timeout(Some(Duration::from_millis(25)))
-                        .ok();
+                    stream.set_read_timeout(Some(read_timeout)).ok();
                     let Ok(read_half) = stream.try_clone() else {
                         return;
                     };

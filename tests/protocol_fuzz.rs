@@ -1,7 +1,13 @@
-//! Coherence-protocol fuzzing: random multi-core op streams over a
-//! small, highly contended line set must always run to completion (no
-//! lost wakeups, no leaked transactions) and pass the end-of-run MESI
-//! validation built into `CmpSim::run`, on every interconnect.
+//! Protocol fuzzing, two layers:
+//!
+//! 1. Coherence: random multi-core op streams over a small, highly
+//!    contended line set must always run to completion (no lost
+//!    wakeups, no leaked transactions) and pass the end-of-run MESI
+//!    validation built into `CmpSim::run`, on every interconnect.
+//! 2. Wire: the `fwd` shard verb and the client's response frames must
+//!    decode *totally* — any malformed, truncated, or hostile line is
+//!    a typed error, never a panic, and a failed forward never poisons
+//!    the capture cache's single-flight pending slot.
 
 use proptest::prelude::*;
 use sctm::{NetworkKind, SystemConfig};
@@ -138,5 +144,146 @@ fn wide_fan_invalidation_storm_terminates() {
         let mut sim = CmpSim::new(cfg, net, Box::new(Wide { pos: vec![0; 16] }));
         let r = sim.run(&mut NullHook);
         assert!(r.messages_injected > 100, "{}", kind.label());
+    }
+}
+
+// ---------------------------------------------------------------------
+// Wire-protocol fuzz: `fwd` verb, peer reply frames, client frames.
+// ---------------------------------------------------------------------
+
+mod wire_fuzz {
+    use proptest::prelude::*;
+    use sctm_srv::cache::{CaptureCache, CaptureKey};
+    use sctm_srv::proto::{fwd_response, CacheOutcome};
+    use sctm_srv::{parse_fwd_response, parse_request, Request};
+    use sctm_trace::TraceLog;
+
+    /// A real capture rendered into a valid peer reply, for
+    /// truncation/mutation fuzzing around the happy path.
+    fn valid_reply() -> (TraceLog, String) {
+        let req =
+            match parse_request("run kernel=fft net=omesh side=2 ops=100 mode=classic-trace id=f")
+                .expect("parse")
+            {
+                Request::Run(r) => *r,
+                other => panic!("expected run, got {other:?}"),
+            };
+        let log = req.experiment.capture();
+        let reply = fwd_response("f", CacheOutcome::Miss, &log.to_csv_string());
+        (log, reply)
+    }
+
+    #[test]
+    fn valid_fwd_reply_round_trips() {
+        let (log, reply) = valid_reply();
+        let (decoded, outcome) = parse_fwd_response(&reply).expect("decode");
+        assert!(matches!(outcome, CacheOutcome::Miss));
+        assert_eq!(decoded.to_csv_string(), log.to_csv_string());
+    }
+
+    /// Strategy: a string drawn from `charset` with a length in `len`
+    /// (the vendored proptest has no regex strategies, so charsets are
+    /// spelled out).
+    fn chars(charset: &'static str, len: std::ops::Range<usize>) -> impl Strategy<Value = String> {
+        let bytes = charset.as_bytes();
+        prop::collection::vec(0usize..bytes.len(), len)
+            .prop_map(move |ix| ix.into_iter().map(|i| bytes[i] as char).collect())
+    }
+
+    /// Strategy: arbitrary bytes decoded lossily — printable JSON
+    /// punctuation, control bytes, and U+FFFD replacements all appear.
+    fn raw(len: std::ops::Range<usize>) -> impl Strategy<Value = String> {
+        prop::collection::vec(0u8..255, len).prop_map(|b| String::from_utf8_lossy(&b).into_owned())
+    }
+
+    proptest! {
+        #![proptest_config(ProptestConfig { cases: 64, .. ProptestConfig::default() })]
+
+        /// Every truncation of a *valid* reply is a typed error — the
+        /// nastiest frames are the nearly-right ones.
+        #[test]
+        fn truncated_peer_replies_are_typed_errors(cut in 0usize..100) {
+            let (_, reply) = valid_reply();
+            if cut < reply.len() {
+                let head: String = reply.chars().take(cut).collect();
+                prop_assert!(parse_fwd_response(&head).is_err(), "decoded {head:?}");
+            }
+        }
+
+        /// Arbitrary bytes (printable and not) never panic the decoder.
+        #[test]
+        fn arbitrary_peer_replies_never_panic(frame in raw(0..200)) {
+            let _ = parse_fwd_response(&frame);
+        }
+
+        /// Peer error frames surface as errors, whatever their fields.
+        #[test]
+        fn peer_error_frames_stay_errors(
+            kind in chars("abcdefghijklmnopqrstuvwxyz-", 0..20),
+            msg in raw(0..60),
+        ) {
+            let frame = format!(
+                r#"{{"status":"error","kind":"{kind}","message":"{}"}}"#,
+                sctm_obs::json_escape(&msg)
+            );
+            prop_assert!(parse_fwd_response(&frame).is_err());
+        }
+
+        /// Random token soup after the `fwd` verb parses totally:
+        /// either a well-formed forward or a typed protocol error.
+        #[test]
+        fn fwd_verb_parsing_is_total(tokens in chars(" abcdefghijklmnopqrstuvwxyz0123456789=.|-", 0..80)) {
+            let _ = parse_request(&format!("fwd {tokens}"));
+        }
+
+        /// The client's frame classifier is total on arbitrary lines.
+        #[test]
+        fn client_frames_never_panic(frame in raw(0..200)) {
+            let _ = sctm_client::parse_response(&frame);
+        }
+
+        /// The client's JSON field scanners are total.
+        #[test]
+        fn client_wire_scanners_are_total(
+            doc in raw(0..200),
+            field in chars("abcdefghijklmnopqrstuvwxyz_", 1..12),
+        ) {
+            let _ = sctm_client::wire::json_str_field(&doc, &field);
+            let _ = sctm_client::wire::json_u64_field(&doc, &field);
+        }
+    }
+
+    /// A forward that fails (here: every malformed reply proptest just
+    /// exercised) must release the pending slot so the next request can
+    /// retry — and a *panicking* producer must do the same via the
+    /// drop guard. Either way the slot is never poisoned.
+    #[test]
+    fn failed_and_panicking_producers_release_the_pending_slot() {
+        let cache = CaptureCache::new(16 << 20);
+        let key = CaptureKey::new("fft", 2, 100, 1);
+
+        // Err producer: the typed-error path a failed `fwd` takes.
+        let failed: Result<_, String> = cache.try_get_or_capture(key, || {
+            parse_fwd_response(r#"{"status":"ok","truncated"#)
+                .map(|(log, _)| log)
+                .map_err(|e| e.to_string())
+        });
+        assert!(failed.is_err());
+
+        // Panicking producer: the drop guard must clean up too.
+        let panicked = std::panic::catch_unwind(std::panic::AssertUnwindSafe(|| {
+            cache.get_or_capture(key, || panic!("producer died"))
+        }));
+        assert!(panicked.is_err());
+
+        // The slot is free: a healthy producer wins it immediately and
+        // later callers hit.
+        let (log, _) = valid_reply();
+        let csv = log.to_csv_string();
+        let (_, hit) = cache.get_or_capture(key, || log);
+        assert!(!hit, "slot was poisoned: healthy producer never ran");
+        let (again, hit) = cache.get_or_capture(key, || unreachable!("must hit"));
+        assert!(hit);
+        assert_eq!(again.to_csv_string(), csv);
     }
 }

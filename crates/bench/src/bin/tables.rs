@@ -8,6 +8,7 @@
 //! tables --json             # run manifest JSON on stdout
 //! tables --obs-dir out/     # write trace/manifest/blame/flamegraph to out/
 //! tables --bench-json f.json # per-phase wall times as sctm-bench-v1
+//! tables --trace-out t.sctf  # save the flagship capture (format by extension)
 //! SCTM_OBS=1 tables         # enable tracing without flags
 //! ```
 //!
@@ -47,6 +48,11 @@ fn main() {
     let bench_json: Option<std::path::PathBuf> = args
         .iter()
         .position(|a| a == "--bench-json")
+        .and_then(|i| args.get(i + 1))
+        .map(|p| p.into());
+    let trace_out: Option<std::path::PathBuf> = args
+        .iter()
+        .position(|a| a == "--trace-out")
         .and_then(|i| args.get(i + 1))
         .map(|p| p.into());
     let wanted: Vec<String> = {
@@ -97,6 +103,20 @@ fn main() {
     }
     let total_ms = t0.elapsed().as_secs_f64() * 1e3;
     eprintln!("# total wall time: {:.1}s", total_ms / 1e3);
+
+    // One flagship capture to disk; the extension picks the container
+    // (`.sctf` binary or CSV text — see `sctf --help` for conversion).
+    if let Some(path) = &trace_out {
+        let exp = Experiment::new(
+            SystemConfig::new(scale.side(), NetworkKind::Omesh),
+            Kernel::Fft,
+        )
+        .with_ops(scale.ops());
+        let log = exp.capture();
+        log.save(path)
+            .unwrap_or_else(|e| panic!("write --trace-out {}: {e}", path.display()));
+        eprintln!("# trace: wrote {} records to {}", log.len(), path.display());
+    }
 
     if let Some(path) = &bench_json {
         let mut bf = prof::BenchFile::new();

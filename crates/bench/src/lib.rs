@@ -64,8 +64,8 @@ pub fn par_map<T: Send, F: FnOnce() -> T + Send>(jobs: Vec<F>) -> Vec<T> {
 }
 
 /// Experiment ids in report order.
-pub const EXPERIMENT_IDS: [&str; 11] = [
-    "e1", "e2", "e3", "e4", "e5", "e6", "e7", "e8", "e9", "e10", "a1",
+pub const EXPERIMENT_IDS: [&str; 12] = [
+    "e1", "e2", "e3", "e4", "e5", "e6", "e7", "e8", "e9", "e10", "a1", "p10",
 ];
 
 /// Run one experiment by id.
@@ -82,6 +82,7 @@ pub fn run_experiment(id: &str, scale: Scale) -> Option<Table> {
         "e9" => e9_online_correction(scale),
         "e10" => e10_latency_distribution(scale),
         "a1" => a1_ablation(scale),
+        "p10" => p10_trace_format(scale),
         _ => return None,
     })
 }

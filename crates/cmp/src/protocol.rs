@@ -16,8 +16,11 @@ use crate::cache::LineAddr;
 use sctm_engine::net::{Message, MsgId};
 use sctm_engine::time::SimTime;
 
-/// Maximum cores supported by the fixed-width sharer bitset.
-pub const MAX_CORES: usize = 256;
+/// Maximum cores supported by the fixed-width sharer bitset. 1024
+/// admits the side-32 photonic meshes the §P10 trace-format experiment
+/// scales to; the word-array walk in `count`/`iter` stays cheap because
+/// real sharer sets are sparse.
+pub const MAX_CORES: usize = 1024;
 
 /// Fixed-size sharer set (supports up to [`MAX_CORES`] cores).
 #[derive(Clone, Copy, PartialEq, Eq, Debug, Default)]

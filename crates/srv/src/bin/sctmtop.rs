@@ -151,9 +151,10 @@ fn render(doc: &str, prev: &Frame, addr: &str, frame_no: u64, clear: bool) -> Fr
         counter(doc, "srv.cache.bypass"),
     ));
     out.push_str(&format!(
-        "           entries {:>5}   {:>9.1} MiB   evictions {:>5}\n\n",
+        "           entries {:>5}   {:>9.1} MiB   {:>7.1} KiB/entry   evictions {:>5}\n\n",
         g("srv.cache.entries") as u64,
         mib(g("srv.cache.bytes")),
+        g("srv.cache.bytes_per_entry") / 1024.0,
         counter(doc, "srv.cache.evictions"),
     ));
     out.push_str(&format!(
@@ -189,6 +190,11 @@ fn render(doc: &str, prev: &Frame, addr: &str, frame_no: u64, clear: bool) -> Fr
             counter(doc, "srv.shard.forwarded"),
             counter(doc, "srv.shard.fwd_served"),
             counter(doc, "srv.shard.fwd_errors"),
+        ));
+        out.push_str(&format!(
+            "           fwd frames   sctf {:>6}   csv {:>6}\n",
+            counter(doc, "srv.shard.fwd_sctf"),
+            counter(doc, "srv.shard.fwd_csv"),
         ));
     }
     out.push('\n');

@@ -14,13 +14,19 @@
 //! - **Single-flight**: concurrent requests for the same key block on a
 //!   `Condvar` while the first one captures, so a cold sweep performs
 //!   exactly one capture per distinct workload — never N racing ones.
-//! - **LRU byte budget**: entries are charged their CSV-serialised size
-//!   (the on-disk trace format, so the budget means the same thing as a
-//!   directory of `.trace.csv` files) and evicted least-recently-used
-//!   first when the budget is exceeded. The entry just inserted is
-//!   never evicted by its own insertion — a trace larger than the whole
-//!   budget still serves its requester, then goes first.
+//! - **LRU byte budget**: entries hold the *sctf container itself*
+//!   (the binary columnar form, several× smaller than the parsed
+//!   row-struct log) and are charged exactly those bytes, so the
+//!   budget measures true resident memory and the same budget keeps
+//!   several× more workloads warm than caching parsed logs did. A hit
+//!   decodes the container — microseconds-to-milliseconds work, orders
+//!   of magnitude cheaper than the capture it replaces. Entries are
+//!   evicted least-recently-used first when the budget is exceeded;
+//!   the entry just inserted is never evicted by its own insertion — a
+//!   trace larger than the whole budget still serves its requester,
+//!   then goes first.
 
+use sctm_core::trace::sctf;
 use sctm_core::trace::TraceLog;
 use std::collections::HashMap;
 use std::sync::{Arc, Condvar, Mutex};
@@ -62,8 +68,9 @@ enum Slot {
     /// A capture for this key is in flight on some thread.
     Pending,
     Ready {
-        log: Arc<TraceLog>,
-        bytes: usize,
+        /// The capture as its sctf container — the compact resident
+        /// form. Decoded per hit; see the module docs for the tradeoff.
+        sctf: Arc<Vec<u8>>,
         last_used: u64,
     },
 }
@@ -132,6 +139,13 @@ impl CaptureCache {
         }
     }
 
+    /// Decode a resident container back into a log. Infallible by
+    /// construction: every slot was encoded by this process, so a
+    /// decode failure means memory corruption, not input.
+    fn thaw(sctf: &[u8]) -> Arc<TraceLog> {
+        Arc::new(sctf::from_sctf_bytes(sctf).expect("cache slot holds a valid sctf container"))
+    }
+
     /// Non-blocking probe: the cached trace if `key` is `Ready`, else
     /// `None` (absent *or* in flight — the caller cannot tell, and must
     /// go through [`Self::try_get_or_capture`] to join the
@@ -139,18 +153,23 @@ impl CaptureCache {
     /// exactly like a hit inside `get_or_capture`, so a probe that
     /// short-circuits the capture stage leaves the same counter trail.
     pub fn try_get(&self, key: CaptureKey) -> Option<Arc<TraceLog>> {
-        let mut inner = lock(&self.inner);
-        inner.clock += 1;
-        let now = inner.clock;
-        match inner.slots.get_mut(&key) {
-            Some(Slot::Ready { log, last_used, .. }) => {
-                let log = Arc::clone(log);
-                *last_used = now;
-                inner.stats.hits += 1;
-                Some(log)
+        let sctf = {
+            let mut inner = lock(&self.inner);
+            inner.clock += 1;
+            let now = inner.clock;
+            match inner.slots.get_mut(&key) {
+                Some(Slot::Ready { sctf, last_used }) => {
+                    let sctf = Arc::clone(sctf);
+                    *last_used = now;
+                    inner.stats.hits += 1;
+                    sctf
+                }
+                _ => return None,
             }
-            _ => None,
-        }
+        };
+        // Decode outside the lock: a hit never serializes other
+        // lookups behind its own thaw.
+        Some(Self::thaw(&sctf))
     }
 
     /// Return the cached capture for `key`, or run `produce` to create
@@ -190,11 +209,12 @@ impl CaptureCache {
             inner.clock += 1;
             let now = inner.clock;
             match inner.slots.get_mut(&key) {
-                Some(Slot::Ready { log, last_used, .. }) => {
-                    let log = Arc::clone(log);
+                Some(Slot::Ready { sctf, last_used }) => {
+                    let sctf = Arc::clone(sctf);
                     *last_used = now;
                     inner.stats.hits += 1;
-                    return Ok((log, true));
+                    drop(inner);
+                    return Ok((Self::thaw(&sctf), true));
                 }
                 Some(Slot::Pending) => {
                     if !waited {
@@ -219,7 +239,10 @@ impl CaptureCache {
         // and wakes the waiters, same as the panic path.
         let log = Arc::new(produce()?);
         guard.armed = false;
-        let bytes = log.to_csv_string().len();
+        // Freeze the capture into its compact resident form; the
+        // producer's own caller gets the already-parsed log for free.
+        let frozen = Arc::new(sctf::to_sctf_bytes(&log));
+        let bytes = frozen.len();
 
         let mut inner = lock(&self.inner);
         inner.clock += 1;
@@ -227,8 +250,7 @@ impl CaptureCache {
         inner.slots.insert(
             key,
             Slot::Ready {
-                log: Arc::clone(&log),
-                bytes,
+                sctf: frozen,
                 last_used: now,
             },
         );
@@ -254,8 +276,8 @@ impl CaptureCache {
                 .min_by_key(|&(_, used)| used)
                 .map(|(k, _)| k);
             let Some(victim) = victim else { break };
-            if let Some(Slot::Ready { bytes, .. }) = inner.slots.remove(&victim) {
-                inner.bytes -= bytes;
+            if let Some(Slot::Ready { sctf, .. }) = inner.slots.remove(&victim) {
+                inner.bytes -= sctf.len();
                 inner.stats.evictions += 1;
             }
         }
@@ -306,7 +328,7 @@ mod tests {
     #[test]
     fn lru_eviction_honours_the_byte_budget() {
         let one = capture(120);
-        let sz = one.to_csv_string().len();
+        let sz = sctf::encoded_size(&one);
         // Room for two traces of this size, not three.
         let cache = CaptureCache::new(2 * sz + sz / 2);
         for seed in 0..3u64 {

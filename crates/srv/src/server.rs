@@ -87,7 +87,7 @@ pub enum SchedMode {
 pub struct ServerConfig {
     /// Bounded request queue length; submissions beyond it get `busy`.
     pub queue_cap: usize,
-    /// Capture cache byte budget (CSV-serialised trace bytes).
+    /// Capture cache byte budget (sctf-encoded trace bytes).
     pub cache_bytes: usize,
     /// Queue deadline for requests that do not carry `timeout_ms`.
     pub default_timeout_ms: u64,
@@ -160,6 +160,11 @@ struct ShardCounters {
     /// Forwards that failed (peer down, malformed reply); the request
     /// got a typed error and the pending slot was released.
     fwd_errors: AtomicU64,
+    /// Format mix of served `fwd` replies: binary sctf frames vs CSV
+    /// frames (a CSV frame means the requesting peer is version-skewed
+    /// or pinned to the interchange codec).
+    fwd_sctf: AtomicU64,
+    fwd_csv: AtomicU64,
 }
 
 struct Shared {
@@ -398,7 +403,12 @@ impl Server {
         } else {
             CacheOutcome::Miss
         };
-        proto::fwd_response(&f.id, outcome, &log.to_csv_string())
+        let mix = match f.format {
+            sctm_core::trace::TraceFormat::Sctf => &self.shared.shard_counters.fwd_sctf,
+            sctm_core::trace::TraceFormat::Csv => &self.shared.shard_counters.fwd_csv,
+        };
+        mix.fetch_add(1, Ordering::Relaxed);
+        proto::fwd_response(&f.id, outcome, &log, f.format)
     }
 
     /// Submit and wait for the response line.
@@ -446,6 +456,15 @@ impl Server {
             .counter_add("srv.cache.single_flight_waits", cs.single_flight_waits);
         m.metrics.gauge_set("srv.cache.entries", cs.entries as f64);
         m.metrics.gauge_set("srv.cache.bytes", cs.bytes as f64);
+        // Mean resident size per entry (sctf-encoded bytes): the
+        // at-a-glance capacity figure — budget / bytes_per_entry is how
+        // many workloads stay warm. Zero while the cache is empty.
+        let per_entry = if cs.entries > 0 {
+            cs.bytes as f64 / cs.entries as f64
+        } else {
+            0.0
+        };
+        m.metrics.gauge_set("srv.cache.bytes_per_entry", per_entry);
         m.metrics
             .gauge_set("srv.queue.depth", self.queue_depth() as f64);
         {
@@ -496,6 +515,10 @@ impl Server {
             "srv.shard.fwd_errors",
             sc.fwd_errors.load(Ordering::Relaxed),
         );
+        m.metrics
+            .counter_add("srv.shard.fwd_sctf", sc.fwd_sctf.load(Ordering::Relaxed));
+        m.metrics
+            .counter_add("srv.shard.fwd_csv", sc.fwd_csv.load(Ordering::Relaxed));
         self.shared.svc.snapshot().publish(&mut m.metrics);
         m
     }

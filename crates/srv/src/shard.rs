@@ -168,11 +168,14 @@ impl Shard {
         Ok(c)
     }
 
-    /// Fetch the capture for `exp` from its owning peer. Called from a
-    /// non-owner's capture stage as the single-flight producer, so at
-    /// most one forward per key is in flight per instance. Any failure
-    /// — dial, transport, malformed reply, undecodable CSV — is a typed
-    /// [`SctmError`]; the caller's pending-slot guard releases waiters.
+    /// Fetch the capture for `exp` from its owning peer, asking for the
+    /// binary sctf wire format (several× smaller frames than CSV; the
+    /// reply decoder accepts either, so a CSV-pinned peer still works).
+    /// Called from a non-owner's capture stage as the single-flight
+    /// producer, so at most one forward per key is in flight per
+    /// instance. Any failure — dial, transport, malformed reply,
+    /// undecodable payload — is a typed [`SctmError`]; the caller's
+    /// pending-slot guard releases waiters.
     pub fn fetch_from_owner(
         &self,
         owner: &str,
@@ -180,7 +183,7 @@ impl Shard {
         id: &str,
     ) -> Result<(TraceLog, CacheOutcome), SctmError> {
         let client = self.client_for(owner)?;
-        let line = fwd_line(exp, id);
+        let line = fwd_line(exp, id, sctm_core::trace::TraceFormat::Sctf);
         let reply = client
             .call(&line)
             .map_err(|e| SctmError::Io(format!("fwd to {owner}: {e}")))?;

@@ -16,21 +16,26 @@
 //! * [`online`] — the online epoch-corrected variant: an analytic
 //!   network that continuously calibrates itself against a shadow
 //!   detailed model while the full-system run proceeds.
-//! * [`persist`] — save/load traces as self-describing CSV, so one
-//!   expensive capture can be replayed everywhere.
+//! * [`persist`] — the unified trace store: save/load with format
+//!   autodetection, CSV as the interchange codec.
+//! * [`sctf`] — the binary columnar container (storage format): fixed
+//!   LE header, per-field column sections, delta+varint timestamps, a
+//!   replay-ready dependency CSR, and a zero-copy reader.
 
 pub mod incr;
 pub mod log;
 pub mod online;
 pub mod persist;
 pub mod replay;
+pub mod sctf;
 
 pub use incr::{IncrPassStats, IncrReplayer, PassKind};
 pub use log::{Capture, TraceLog, TraceRecord};
 pub use online::{OnlineCorrected, ShadowFactory};
-pub use persist::TraceError;
+pub use persist::{TraceError, TraceFormat, TraceStore};
 pub use replay::{
     pair_corrections, replay_fixed, replay_fixed_budgeted, replay_fixed_with, replay_oracle,
-    replay_oracle_with, replay_sctm_pass, replay_sctm_pass_ordered, replay_sctm_pass_ordered_with,
-    replay_sctm_pass_with, ReplayResult, ReplayScratch,
+    replay_oracle_preloaded, replay_oracle_with, replay_sctm_pass, replay_sctm_pass_ordered,
+    replay_sctm_pass_ordered_with, replay_sctm_pass_with, ReplayResult, ReplayScratch,
 };
+pub use sctf::SctfReader;

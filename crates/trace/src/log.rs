@@ -59,6 +59,19 @@ impl TraceLog {
         &self.records[id.0 as usize]
     }
 
+    /// Heap-resident size of this log: the row structs plus every
+    /// per-record dependency allocation. This is what holding the
+    /// parsed form in memory actually costs — the baseline the sctf
+    /// container's ≤0.5× cold-load residency is measured against.
+    pub fn resident_bytes(&self) -> usize {
+        self.records.capacity() * std::mem::size_of::<TraceRecord>()
+            + self
+                .records
+                .iter()
+                .map(|r| r.deps.capacity() * std::mem::size_of::<MsgId>())
+                .sum::<usize>()
+    }
+
     /// Latest capture delivery instant (used to translate replay
     /// deliveries into an execution-time estimate).
     pub fn last_delivery(&self) -> SimTime {

@@ -1,37 +1,68 @@
-//! Trace (de)serialisation.
+//! Trace (de)serialisation: the CSV interchange codec, the typed
+//! [`TraceError`], and the [`TraceStore`] facade that unifies it with
+//! the binary [`crate::sctf`] container.
 //!
 //! Captures are expensive relative to replays, so they are worth
 //! keeping: a saved trace can be replayed against any number of target
 //! networks (or shared with another machine) without re-running the
-//! full-system simulation. The format is a self-describing CSV — one
-//! header line with run metadata, one line per message — chosen over a
-//! binary format so traces stay inspectable with standard tools.
+//! full-system simulation. Two formats share one API:
+//!
+//! - **CSV** (`sctm-trace-v1`, this module) is the narrow
+//!   *import/export pair* — [`TraceLog::to_csv_string`] /
+//!   [`TraceLog::from_csv_str`] — kept greppable and diffable for
+//!   interchange with external tools.
+//! - **sctf** ([`crate::sctf`]) is the *storage* format: a columnar
+//!   binary container that cold-loads an order of magnitude faster and
+//!   at a fraction of the bytes.
+//!
+//! Callers should not pick a codec by hand: [`TraceLog::save`] selects
+//! by extension (`.sctf` → binary, anything else → CSV),
+//! [`TraceLog::save_as`] selects explicitly, and [`TraceLog::load`]
+//! autodetects by magic bytes, so either format round-trips through
+//! the same two calls.
 
 use crate::log::{TraceLog, TraceRecord};
+use crate::sctf;
 use sctm_engine::net::{Message, MsgClass, MsgId, NodeId};
 use sctm_engine::time::SimTime;
-use std::io::{BufWriter, Write};
 use std::path::Path;
 
 const MAGIC: &str = "sctm-trace-v1";
 
-/// Why a trace file failed to parse. Every malformed input maps to a
-/// specific variant — parsing never panics, whatever the bytes.
+/// Why a trace failed to parse — CSV or sctf, file or in-memory
+/// bytes. Every malformed input maps to a specific variant; parsing
+/// never panics, whatever the bytes.
 #[derive(Clone, Debug, PartialEq, Eq)]
 pub enum TraceError {
-    /// First line does not start with the `sctm-trace-v1` magic.
+    /// The input starts with neither the `sctm-trace-v1` CSV magic nor
+    /// the sctf container magic.
     BadMagic,
-    /// The file ends (or a line ends) before all expected data: a
+    /// CSV: the file ends (or a line ends) before all expected data: a
     /// missing metadata/header line or a record with the wrong field
     /// count. `line` is 1-based.
     Truncated { line: usize },
-    /// A numeric field failed to parse. `field` names the column.
+    /// CSV: a numeric field failed to parse. `field` names the column.
     NonNumeric { line: usize, field: &'static str },
-    /// A numeric field parsed but exceeds its type's range (node ids
-    /// and byte counts are `u32`).
+    /// CSV: a numeric field parsed but exceeds its type's range (node
+    /// ids and byte counts are `u32`).
     OutOfRange { line: usize, field: &'static str },
-    /// Message class column was neither `C` nor `D`.
+    /// CSV: message class column was neither `C` nor `D`.
     BadClass { line: usize },
+    /// sctf: a section (or the header itself) is shorter than its
+    /// declared or required length.
+    TruncatedSection {
+        section: &'static str,
+        need: u64,
+        have: u64,
+    },
+    /// sctf: the container checksum does not match its contents.
+    BadChecksum { stored: u64, computed: u64 },
+    /// sctf: the container's format version is not one this build
+    /// understands (only [`sctf::SCTF_VERSION`] is).
+    VersionSkew { found: u32 },
+    /// sctf: a section offset violates the format's 8-byte alignment
+    /// rule, so the zero-copy column casts would be unsound.
+    Misaligned { section: &'static str, offset: u64 },
     /// Underlying file I/O failed.
     Io(String),
     /// The records parsed but violate trace invariants
@@ -42,7 +73,7 @@ pub enum TraceError {
 impl std::fmt::Display for TraceError {
     fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
         match self {
-            TraceError::BadMagic => write!(f, "not a {MAGIC} file"),
+            TraceError::BadMagic => write!(f, "neither a {MAGIC} nor an sctf file"),
             TraceError::Truncated { line } => write!(f, "line {line}: truncated"),
             TraceError::NonNumeric { line, field } => {
                 write!(f, "line {line}: non-numeric {field}")
@@ -51,6 +82,23 @@ impl std::fmt::Display for TraceError {
                 write!(f, "line {line}: {field} out of range")
             }
             TraceError::BadClass { line } => write!(f, "line {line}: bad message class"),
+            TraceError::TruncatedSection {
+                section,
+                need,
+                have,
+            } => write!(f, "sctf section {section}: need {need} bytes, have {have}"),
+            TraceError::BadChecksum { stored, computed } => write!(
+                f,
+                "sctf checksum mismatch: stored {stored:#018x}, computed {computed:#018x}"
+            ),
+            TraceError::VersionSkew { found } => write!(
+                f,
+                "sctf version {found} (this build reads version {})",
+                sctf::SCTF_VERSION
+            ),
+            TraceError::Misaligned { section, offset } => {
+                write!(f, "sctf section {section} misaligned at offset {offset}")
+            }
             TraceError::Io(e) => write!(f, "trace file i/o: {e}"),
             TraceError::Invalid(e) => write!(f, "invalid trace: {e}"),
         }
@@ -59,8 +107,93 @@ impl std::fmt::Display for TraceError {
 
 impl std::error::Error for TraceError {}
 
+/// On-disk trace encodings the [`TraceStore`] facade can read/write.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub enum TraceFormat {
+    /// `sctm-trace-v1` self-describing CSV (interchange).
+    Csv,
+    /// `sctf` binary columnar container (storage; see [`crate::sctf`]).
+    Sctf,
+}
+
+impl TraceFormat {
+    /// Format implied by a path's extension: `.sctf` → [`Self::Sctf`],
+    /// anything else (including none) → [`Self::Csv`].
+    pub fn from_path(path: impl AsRef<Path>) -> TraceFormat {
+        match path.as_ref().extension().and_then(|e| e.to_str()) {
+            Some(e) if e.eq_ignore_ascii_case("sctf") => TraceFormat::Sctf,
+            _ => TraceFormat::Csv,
+        }
+    }
+
+    /// Format implied by leading magic bytes, or `None` for neither.
+    pub fn sniff(bytes: &[u8]) -> Option<TraceFormat> {
+        if bytes.starts_with(&sctf::SCTF_MAGIC) {
+            Some(TraceFormat::Sctf)
+        } else if bytes.starts_with(MAGIC.as_bytes()) {
+            Some(TraceFormat::Csv)
+        } else {
+            None
+        }
+    }
+
+    pub fn label(self) -> &'static str {
+        match self {
+            TraceFormat::Csv => "csv",
+            TraceFormat::Sctf => "sctf",
+        }
+    }
+}
+
+/// The unified trace I/O facade: one save path, one load path, one
+/// error type, both formats. [`TraceLog::save`], [`TraceLog::save_as`]
+/// and [`TraceLog::load`] are thin delegates to this.
+pub struct TraceStore;
+
+impl TraceStore {
+    /// Serialise `log` in `format`, in memory.
+    pub fn encode(log: &TraceLog, format: TraceFormat) -> Vec<u8> {
+        match format {
+            TraceFormat::Csv => log.to_csv_string().into_bytes(),
+            TraceFormat::Sctf => sctf::to_sctf_bytes(log),
+        }
+    }
+
+    /// Decode a trace from bytes, autodetecting the format by magic.
+    pub fn decode(bytes: &[u8]) -> Result<TraceLog, TraceError> {
+        match TraceFormat::sniff(bytes) {
+            Some(TraceFormat::Sctf) => sctf::from_sctf_bytes(bytes),
+            Some(TraceFormat::Csv) => {
+                let s = std::str::from_utf8(bytes)
+                    .map_err(|_| TraceError::Invalid("csv trace is not utf-8".into()))?;
+                TraceLog::from_csv_str(s)
+            }
+            None => Err(TraceError::BadMagic),
+        }
+    }
+
+    /// Write `log` to `path` in `format`.
+    pub fn save_as(
+        log: &TraceLog,
+        path: impl AsRef<Path>,
+        format: TraceFormat,
+    ) -> Result<(), TraceError> {
+        std::fs::write(path, Self::encode(log, format)).map_err(|e| TraceError::Io(e.to_string()))
+    }
+
+    /// Read a trace from `path`, autodetecting the format by magic (the
+    /// extension is irrelevant on load).
+    pub fn load(path: impl AsRef<Path>) -> Result<TraceLog, TraceError> {
+        let bytes = std::fs::read(path).map_err(|e| TraceError::Io(e.to_string()))?;
+        Self::decode(&bytes)
+    }
+}
+
 impl TraceLog {
-    /// Serialise to the CSV trace format.
+    /// Serialise to the CSV trace format — the *export* half of the
+    /// interchange pair. For storage (files, caches, wire frames),
+    /// prefer [`TraceLog::save`] / [`TraceStore::encode`], which pick
+    /// the compact sctf container.
     pub fn to_csv_string(&self) -> String {
         let mut out = String::with_capacity(self.records.len() * 64);
         out.push_str(&format!(
@@ -98,10 +231,12 @@ impl TraceLog {
         out
     }
 
-    /// Parse the CSV trace format. Malformed input of any shape — bad
-    /// magic, truncated lines, non-numeric or out-of-range fields —
-    /// returns the matching [`TraceError`] variant; parsing never
-    /// panics.
+    /// Parse the CSV trace format — the *import* half of the
+    /// interchange pair (loads from disk should go through
+    /// [`TraceLog::load`], which autodetects the format). Malformed
+    /// input of any shape — bad magic, truncated lines, non-numeric or
+    /// out-of-range fields — returns the matching [`TraceError`]
+    /// variant; parsing never panics.
     pub fn from_csv_str(s: &str) -> Result<TraceLog, TraceError> {
         let mut lines = s.lines();
         let meta = lines.next().ok_or(TraceError::Truncated { line: 1 })?;
@@ -212,18 +347,24 @@ impl TraceLog {
         Ok(log)
     }
 
-    /// Write to a file.
-    pub fn save(&self, path: impl AsRef<Path>) -> std::io::Result<()> {
-        let f = std::fs::File::create(path)?;
-        let mut w = BufWriter::new(f);
-        w.write_all(self.to_csv_string().as_bytes())?;
-        w.flush()
+    /// Write to a file; the format follows the extension (`.sctf` →
+    /// binary container, anything else → CSV).
+    pub fn save(&self, path: impl AsRef<Path>) -> Result<(), TraceError> {
+        let format = TraceFormat::from_path(&path);
+        TraceStore::save_as(self, path, format)
     }
 
-    /// Read from a file.
+    /// Write to a file in an explicit [`TraceFormat`].
+    pub fn save_as(&self, path: impl AsRef<Path>, format: TraceFormat) -> Result<(), TraceError> {
+        TraceStore::save_as(self, path, format)
+    }
+
+    /// Read from a file, autodetecting the format by magic bytes. I/O
+    /// failures and parse failures share one error type
+    /// ([`TraceError`], with [`TraceError::Io`] for the former), so
+    /// callers match on a single result.
     pub fn load(path: impl AsRef<Path>) -> Result<TraceLog, TraceError> {
-        let s = std::fs::read_to_string(path).map_err(|e| TraceError::Io(e.to_string()))?;
-        Self::from_csv_str(&s)
+        TraceStore::load(path)
     }
 }
 
@@ -399,6 +540,50 @@ mod tests {
     fn load_missing_file_is_io_error() {
         let path = std::env::temp_dir().join("sctm_no_such_trace_file.csv");
         assert!(matches!(TraceLog::load(&path), Err(TraceError::Io(_))));
+    }
+
+    #[test]
+    fn save_missing_dir_is_io_error() {
+        let path = std::env::temp_dir().join("sctm_no_such_dir").join("t.sctf");
+        assert!(matches!(tiny().save(&path), Err(TraceError::Io(_))));
+    }
+
+    #[test]
+    fn extension_selects_format_and_magic_detects_it_back() {
+        let log = tiny();
+        let dir = std::env::temp_dir();
+        let as_sctf = dir.join("sctm_store_roundtrip.sctf");
+        let as_csv = dir.join("sctm_store_roundtrip.trace.csv");
+        log.save(&as_sctf).unwrap();
+        log.save(&as_csv).unwrap();
+        // The sctf file is binary, the CSV one is text, and both load
+        // back through the same magic-sniffing entry point.
+        let sctf_bytes = std::fs::read(&as_sctf).unwrap();
+        assert_eq!(TraceFormat::sniff(&sctf_bytes), Some(TraceFormat::Sctf));
+        let csv_bytes = std::fs::read(&as_csv).unwrap();
+        assert_eq!(TraceFormat::sniff(&csv_bytes), Some(TraceFormat::Csv));
+        for p in [&as_sctf, &as_csv] {
+            let back = TraceLog::load(p).unwrap();
+            assert_eq!(back.len(), log.len());
+            assert_eq!(back.capture_exec_time, log.capture_exec_time);
+        }
+        // Autodetection reads magic, not extensions: an sctf container
+        // behind a .csv name still loads as sctf.
+        let disguised = dir.join("sctm_store_disguised.csv");
+        log.save_as(&disguised, TraceFormat::Sctf).unwrap();
+        assert_eq!(TraceLog::load(&disguised).unwrap().len(), log.len());
+        for p in [as_sctf, as_csv, disguised] {
+            let _ = std::fs::remove_file(p);
+        }
+    }
+
+    #[test]
+    fn decode_rejects_unknown_magic() {
+        assert_eq!(
+            TraceStore::decode(b"PK\x03\x04zip?").err(),
+            Some(TraceError::BadMagic)
+        );
+        assert_eq!(TraceStore::decode(b"").err(), Some(TraceError::BadMagic));
     }
 
     #[test]

@@ -160,6 +160,24 @@ impl ReplayScratch {
         }
     }
 
+    /// Install a prebuilt delivery→children CSR (the layout
+    /// [`ReplayScratch::build_csr`] produces, as stored verbatim in an
+    /// sctf container's dependency section): two slice copies in place
+    /// of the O(E) rebuild. Consumed by
+    /// [`replay_oracle_preloaded`](crate::replay::replay_oracle_preloaded).
+    pub fn install_children_csr(&mut self, off: &[u32], adj: &[u32]) {
+        assert!(!off.is_empty(), "CSR offset array must have n+1 entries");
+        assert_eq!(
+            *off.last().unwrap() as usize,
+            adj.len(),
+            "CSR offsets do not cover the adjacency array"
+        );
+        self.adj_off.clear();
+        self.adj_off.extend_from_slice(off);
+        self.adj.clear();
+        self.adj.extend_from_slice(adj);
+    }
+
     /// Fill `prev_in_order`/`next_in_order`: each message's neighbour in
     /// its source node's time-sorted departure sequence (the chain
     /// `TraceLog::per_source_order` returns as nested vectors, built
@@ -330,8 +348,38 @@ pub fn replay_oracle_with(
     net: &mut dyn NetworkModel,
     scratch: &mut ReplayScratch,
 ) -> ReplayResult {
+    scratch.build_csr(log.len(), |i| {
+        log.records[i].deps.iter().map(|d| d.0 as u32)
+    });
+    oracle_run(log, net, scratch)
+}
+
+/// [`replay_oracle_with`] consuming a dependency CSR already resident
+/// in `scratch` — e.g. installed straight from an sctf container's
+/// dependency section ([`crate::sctf::SctfReader::install_children_csr`])
+/// — instead of rebuilding it from the per-record dep vectors.
+pub fn replay_oracle_preloaded(
+    log: &TraceLog,
+    net: &mut dyn NetworkModel,
+    scratch: &mut ReplayScratch,
+) -> ReplayResult {
+    assert_eq!(
+        scratch.adj_off.len(),
+        log.len() + 1,
+        "preloaded CSR does not cover this trace"
+    );
+    oracle_run(log, net, scratch)
+}
+
+/// The oracle body: assumes `scratch.{adj_off, adj}` already hold the
+/// delivery→children adjacency for `log`.
+fn oracle_run(
+    log: &TraceLog,
+    net: &mut dyn NetworkModel,
+    scratch: &mut ReplayScratch,
+) -> ReplayResult {
     let n = log.len();
-    // delta, dependency counts, and the delivery→children adjacency
+    // delta and dependency counts from the capture timeline
     scratch.delta.clear();
     scratch.delta.resize(n, SimTime::ZERO);
     scratch.remaining.clear();
@@ -345,7 +393,6 @@ pub fn replay_oracle_with(
             scratch.remaining[i] = r.deps.len() as u32;
         }
     }
-    scratch.build_csr(n, |i| log.records[i].deps.iter().map(|d| d.0 as u32));
     let mut inject = vec![SimTime::MAX; n];
     scratch.ready_at.clear();
     scratch.ready_at.resize(n, SimTime::ZERO); // max dep delivery so far

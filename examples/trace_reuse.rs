@@ -25,18 +25,39 @@ fn main() {
         log.capture_exec_time
     );
 
-    // 2. ...saved as a self-describing CSV...
-    let path = std::env::temp_dir().join("sctm_barnes_16c.trace.csv");
-    log.save(&path).expect("save trace");
-    let bytes = std::fs::metadata(&path).map(|m| m.len()).unwrap_or(0);
+    // 2. ...saved in both encodings — the extension picks the format:
+    // self-describing CSV text for diffing, the checksummed `sctf`
+    // binary container (DESIGN.md §14) for fast reloads...
+    let csv_path = std::env::temp_dir().join("sctm_barnes_16c.trace.csv");
+    let sctf_path = std::env::temp_dir().join("sctm_barnes_16c.sctf");
+    log.save(&csv_path).expect("save csv trace");
+    log.save(&sctf_path).expect("save sctf trace");
+    let size = |p: &std::path::Path| std::fs::metadata(p).map(|m| m.len()).unwrap_or(0);
     eprintln!(
-        "saved to {} ({:.1} MiB)",
-        path.display(),
-        bytes as f64 / (1 << 20) as f64
+        "saved {} ({:.2} MiB csv) and {} ({:.2} MiB sctf)",
+        csv_path.display(),
+        size(&csv_path) as f64 / (1 << 20) as f64,
+        sctf_path.display(),
+        size(&sctf_path) as f64 / (1 << 20) as f64
     );
 
-    // 3. ...reloaded (possibly by another process, days later)...
-    let log = TraceLog::load(&path).expect("load trace");
+    // 3. ...reloaded (possibly by another process, days later). `load`
+    // sniffs the format by magic, so both paths decode to the same log;
+    // the container also supports header-only inspection without
+    // materializing records.
+    let reader = sctm::trace::SctfReader::open(&sctf_path).expect("open sctf");
+    eprintln!(
+        "sctf: {} records on {} (capture exec {})",
+        reader.len(),
+        reader.capture_net(),
+        reader.capture_exec_time()
+    );
+    let log = TraceLog::load(&sctf_path).expect("load trace");
+    assert_eq!(
+        log.to_csv_string(),
+        TraceLog::load(&csv_path).expect("load csv").to_csv_string(),
+        "both encodings decode to the same trace"
+    );
 
     // 4. ...and replayed against every detailed interconnect.
     let mut t = Table::new(
@@ -60,5 +81,6 @@ fn main() {
         ]);
     }
     println!("{}", t.render());
-    let _ = std::fs::remove_file(path);
+    let _ = std::fs::remove_file(csv_path);
+    let _ = std::fs::remove_file(sctf_path);
 }

@@ -156,11 +156,11 @@ mod wire_fuzz {
     use sctm_srv::cache::{CaptureCache, CaptureKey};
     use sctm_srv::proto::{fwd_response, CacheOutcome};
     use sctm_srv::{parse_fwd_response, parse_request, Request};
-    use sctm_trace::TraceLog;
+    use sctm_trace::{TraceFormat, TraceLog};
 
-    /// A real capture rendered into a valid peer reply, for
+    /// A real capture rendered into a valid peer reply in `format`, for
     /// truncation/mutation fuzzing around the happy path.
-    fn valid_reply() -> (TraceLog, String) {
+    fn valid_reply_in(format: TraceFormat) -> (TraceLog, String) {
         let req =
             match parse_request("run kernel=fft net=omesh side=2 ops=100 mode=classic-trace id=f")
                 .expect("parse")
@@ -169,16 +169,22 @@ mod wire_fuzz {
                 other => panic!("expected run, got {other:?}"),
             };
         let log = req.experiment.capture();
-        let reply = fwd_response("f", CacheOutcome::Miss, &log.to_csv_string());
+        let reply = fwd_response("f", CacheOutcome::Miss, &log, format);
         (log, reply)
     }
 
+    fn valid_reply() -> (TraceLog, String) {
+        valid_reply_in(TraceFormat::Csv)
+    }
+
     #[test]
-    fn valid_fwd_reply_round_trips() {
-        let (log, reply) = valid_reply();
-        let (decoded, outcome) = parse_fwd_response(&reply).expect("decode");
-        assert!(matches!(outcome, CacheOutcome::Miss));
-        assert_eq!(decoded.to_csv_string(), log.to_csv_string());
+    fn valid_fwd_reply_round_trips_in_both_formats() {
+        for fmt in [TraceFormat::Csv, TraceFormat::Sctf] {
+            let (log, reply) = valid_reply_in(fmt);
+            let (decoded, outcome) = parse_fwd_response(&reply).expect("decode");
+            assert!(matches!(outcome, CacheOutcome::Miss));
+            assert_eq!(decoded.to_csv_string(), log.to_csv_string());
+        }
     }
 
     /// Strategy: a string drawn from `charset` with a length in `len`
@@ -285,5 +291,96 @@ mod wire_fuzz {
         let (again, hit) = cache.get_or_capture(key, || unreachable!("must hit"));
         assert!(hit);
         assert_eq!(again.to_csv_string(), csv);
+    }
+}
+
+// ---------------------------------------------------------------------
+// sctf container fuzz: the binary trace format's decoder must be total
+// — truncations, bit flips, endianness games, and future versions are
+// always typed `TraceError`s, never panics or silent misreads.
+// ---------------------------------------------------------------------
+
+mod sctf_fuzz {
+    use proptest::prelude::*;
+    use sctm_trace::sctf::{from_sctf_bytes, to_sctf_bytes, SCTF_MAGIC, SCTF_VERSION};
+    use sctm_trace::{SctfReader, TraceError, TraceStore};
+
+    /// A real (small) capture encoded into a valid container.
+    fn valid_container() -> Vec<u8> {
+        use sctm::workloads::Kernel;
+        use sctm::{Experiment, NetworkKind, SystemConfig};
+        let log = Experiment::new(SystemConfig::new(2, NetworkKind::Omesh), Kernel::Fft)
+            .with_ops(100)
+            .capture();
+        to_sctf_bytes(&log)
+    }
+
+    proptest! {
+        #![proptest_config(ProptestConfig { cases: 64, .. ProptestConfig::default() })]
+
+        /// Every truncation of a valid container is a typed error.
+        #[test]
+        fn truncated_containers_are_typed_errors(frac in 0.0f64..1.0) {
+            let buf = valid_container();
+            let cut = ((buf.len() as f64) * frac) as usize;
+            if cut < buf.len() {
+                prop_assert!(from_sctf_bytes(&buf[..cut]).is_err(), "cut={cut}");
+                prop_assert!(SctfReader::from_bytes(&buf[..cut]).is_err(), "cut={cut}");
+            }
+        }
+
+        /// Any single flipped byte is caught: by the magic check, the
+        /// version gate, or the whole-buffer checksum. No flip decodes.
+        #[test]
+        fn any_single_byte_flip_is_a_typed_error(frac in 0.0f64..1.0, bit in 0u8..8) {
+            let mut buf = valid_container();
+            let at = (((buf.len() - 1) as f64) * frac) as usize;
+            buf[at] ^= 1 << bit;
+            prop_assert!(from_sctf_bytes(&buf).is_err(), "flip at {at} bit {bit}");
+        }
+
+        /// Arbitrary bytes behind a valid magic never panic the decoder
+        /// (and never decode: the checksum would have to collide).
+        #[test]
+        fn magic_plus_garbage_never_panics(tail in prop::collection::vec(0usize..256, 0..300)) {
+            let tail: Vec<u8> = tail.into_iter().map(|b| b as u8).collect();
+            let mut buf = SCTF_MAGIC.to_vec();
+            buf.extend_from_slice(&tail);
+            prop_assert!(from_sctf_bytes(&buf).is_err());
+            prop_assert!(TraceStore::decode(&buf).is_err());
+        }
+
+        /// Future (and byte-swapped, i.e. wrong-endian) version words
+        /// are version skew, reported before any checksum arithmetic.
+        #[test]
+        fn future_versions_are_version_skew(v in (SCTF_VERSION + 1)..u32::MAX) {
+            let mut buf = valid_container();
+            buf[8..12].copy_from_slice(&v.to_le_bytes());
+            match from_sctf_bytes(&buf) {
+                Err(TraceError::VersionSkew { found }) => prop_assert_eq!(found, v),
+                other => prop_assert!(false, "expected version skew, got {other:?}"),
+            }
+        }
+    }
+
+    /// A wrong-endian (byte-swapped) record count cannot sneak past the
+    /// checksum, and a big-endian writer's version word reads as skew.
+    #[test]
+    fn wrong_endian_counts_and_versions_are_rejected() {
+        let mut buf = valid_container();
+        // Record count lives at [12..20); byte-swap it.
+        let n = u64::from_le_bytes(buf[12..20].try_into().unwrap());
+        buf[12..20].copy_from_slice(&n.swap_bytes().to_le_bytes());
+        assert!(
+            matches!(from_sctf_bytes(&buf), Err(TraceError::BadChecksum { .. })),
+            "swapped count must fail the checksum"
+        );
+        // A big-endian writer would store the version byte-swapped.
+        let mut buf = valid_container();
+        buf[8..12].copy_from_slice(&SCTF_VERSION.to_be_bytes());
+        assert!(matches!(
+            from_sctf_bytes(&buf),
+            Err(TraceError::VersionSkew { .. })
+        ));
     }
 }

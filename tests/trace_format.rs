@@ -1,0 +1,159 @@
+//! The sctf binary trace container's end-to-end contract (PR10
+//! tentpole): round-tripping a capture through the container is
+//! lossless, replaying a decoded trace is bit-identical to replaying
+//! the original on every detailed network model at any capture thread
+//! count, and the zero-copy reader's preinstalled dependency CSR
+//! drives the oracle to the exact same timeline as the built-on-demand
+//! one.
+
+use proptest::prelude::*;
+use sctm::prelude::*;
+use sctm_engine::net::NetworkModel;
+use sctm_trace::sctf::{encoded_size, from_sctf_bytes, to_sctf_bytes};
+use sctm_trace::{
+    replay_fixed, replay_oracle, replay_oracle_preloaded, replay_oracle_with, replay_sctm_pass,
+    ReplayScratch, SctfReader, TraceLog, TraceStore,
+};
+
+fn capture(side: usize, kernel: Kernel, ops: usize, seed: u64, threads: usize) -> TraceLog {
+    Experiment::new(SystemConfig::new(side, NetworkKind::Omesh), kernel)
+        .with_ops(ops)
+        .with_seed(seed)
+        .with_capture_threads(threads)
+        .capture()
+}
+
+fn detailed_net(side: usize, kind: NetworkKind) -> Box<dyn NetworkModel> {
+    SystemConfig::make_network_kind(side, kind)
+}
+
+/// The full replay timeline as one comparable string: exact inject and
+/// deliver instants for every message.
+fn timeline(r: &sctm_trace::ReplayResult) -> String {
+    format!(
+        "exec={:?} inject={:?} deliver={:?}",
+        r.est_exec_time, r.inject, r.deliver
+    )
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig { cases: 6, .. ProptestConfig::default() })]
+
+    /// Encoding a real capture into the container and decoding it back
+    /// reproduces the log exactly (CSV interchange bytes compare every
+    /// field), through both the direct codec and the format-sniffing
+    /// store facade.
+    #[test]
+    fn container_roundtrip_is_lossless(
+        seed in 1u64..500,
+        ops in 120usize..300,
+        kchoice in 0usize..5,
+    ) {
+        let kernel = [Kernel::Fft, Kernel::Lu, Kernel::Barnes, Kernel::Streamcluster, Kernel::Canneal][kchoice];
+        let log = capture(2, kernel, ops, seed, 1);
+        let bytes = to_sctf_bytes(&log);
+        prop_assert_eq!(bytes.len(), encoded_size(&log), "encoded_size must be exact");
+        let back = from_sctf_bytes(&bytes).expect("decode");
+        prop_assert_eq!(back.to_csv_string(), log.to_csv_string());
+        let sniffed = TraceStore::decode(&bytes).expect("sniff+decode");
+        prop_assert_eq!(sniffed.to_csv_string(), log.to_csv_string());
+    }
+
+    /// A decoded sctf trace replays to the *bit-identical* timeline the
+    /// original produced, on every detailed network model, whatever
+    /// thread count captured it. The container can therefore stand in
+    /// for the in-memory log anywhere in the self-correction loop.
+    #[test]
+    fn decoded_traces_replay_bit_identically_on_all_detailed_models(
+        seed in 1u64..500,
+        threads_ix in 0usize..3,
+    ) {
+        let threads = [1usize, 4, 8][threads_ix];
+        let log = capture(4, Kernel::Fft, 150, seed, threads);
+        let back = from_sctf_bytes(&to_sctf_bytes(&log)).expect("decode");
+        for kind in NetworkKind::DETAILED {
+            for (name, engine) in [
+                ("fixed", replay_fixed as fn(&TraceLog, &mut dyn NetworkModel) -> _),
+                ("sctm_pass", replay_sctm_pass),
+                ("oracle", replay_oracle),
+            ] {
+                let a = engine(&log, detailed_net(4, kind).as_mut());
+                let b = engine(&back, detailed_net(4, kind).as_mut());
+                prop_assert_eq!(
+                    timeline(&a),
+                    timeline(&b),
+                    "{} replay diverged on {} at {} capture threads",
+                    name,
+                    kind.label(),
+                    threads
+                );
+            }
+        }
+    }
+
+    /// The reader's stored children CSR, memcpy-installed into the
+    /// replay scratch, drives the oracle to the same timeline as the
+    /// CSR built from the log on demand.
+    #[test]
+    fn preinstalled_csr_matches_on_demand_build(seed in 1u64..500) {
+        let log = capture(2, Kernel::Lu, 150, seed, 1);
+        let reader = SctfReader::from_bytes(&to_sctf_bytes(&log)).expect("reader");
+        let mut scratch = ReplayScratch::new();
+        prop_assert!(reader.install_children_csr(&mut scratch), "v1 writer always stores the CSR");
+        let pre = replay_oracle_preloaded(&log, detailed_net(2, NetworkKind::Omesh).as_mut(), &mut scratch);
+        let mut scratch2 = ReplayScratch::new();
+        let built = replay_oracle_with(&log, detailed_net(2, NetworkKind::Omesh).as_mut(), &mut scratch2);
+        prop_assert_eq!(timeline(&pre), timeline(&built));
+    }
+}
+
+/// Footprint guarantees on a 64-core fft capture. Two ratios matter:
+/// the container is smaller than the CSV text it replaces on disk and
+/// on the wire, and — the cold-load residency contract — the
+/// zero-copy reader's resident bytes are at most half what the parsed
+/// row-struct log costs in memory. The latter is why the capture
+/// cache's byte budget holds several× more workloads when entries
+/// freeze to sctf.
+#[test]
+fn sctf_resident_bytes_are_at_most_half_the_parsed_log_at_64_cores() {
+    let log = capture(8, Kernel::Fft, 300, 1, 1);
+    let csv = log.to_csv_string().len();
+    let sctf = encoded_size(&log);
+    assert!(
+        sctf < csv,
+        "container ({sctf} B) must beat CSV text ({csv} B)"
+    );
+    let resident = log.resident_bytes();
+    assert!(
+        sctf * 2 <= resident,
+        "sctf {sctf} B vs parsed-log {resident} B resident: ratio {:.2}",
+        sctf as f64 / resident as f64
+    );
+    // The reader holds exactly the container (plus alignment slack),
+    // never a per-record materialization.
+    let reader = SctfReader::from_bytes(&to_sctf_bytes(&log)).expect("reader");
+    assert_eq!(reader.byte_len(), sctf);
+}
+
+/// The store facade writes whichever format the extension names and
+/// autodetects it back by magic, so a mixed directory of `.trace.csv`
+/// and `.sctf` files loads through one call.
+#[test]
+fn save_load_autodetects_both_formats_on_disk() {
+    let dir = std::env::temp_dir().join(format!("sctm-fmt-{}", std::process::id()));
+    std::fs::create_dir_all(&dir).expect("tmp dir");
+    let log = capture(2, Kernel::Fft, 120, 7, 1);
+    let csv_path = dir.join("a.trace.csv");
+    let sctf_path = dir.join("a.sctf");
+    log.save(&csv_path).expect("save csv");
+    log.save(&sctf_path).expect("save sctf");
+    let csv_bytes = std::fs::read(&csv_path).expect("read");
+    let sctf_bytes = std::fs::read(&sctf_path).expect("read");
+    assert!(csv_bytes.starts_with(b"sctm-trace-v1"));
+    assert!(sctf_bytes.starts_with(&sctm_trace::sctf::SCTF_MAGIC));
+    for p in [&csv_path, &sctf_path] {
+        let back = TraceLog::load(p).expect("load");
+        assert_eq!(back.to_csv_string(), log.to_csv_string(), "{}", p.display());
+    }
+    let _ = std::fs::remove_dir_all(&dir);
+}
